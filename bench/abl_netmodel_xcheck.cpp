@@ -1,0 +1,70 @@
+// Ablation: flow-level link-reservation network model vs the cycle-accurate
+// wormhole reference, on an 8x8 mesh under uniform-random traffic.
+//
+// The flow model is what every full-system experiment uses (a 1024-core
+// cycle-accurate NoC would be ~100x slower to simulate); this ablation
+// quantifies the approximation: zero-load latencies should match closely
+// and saturation onset should agree in shape.
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "cyclenet/cycle_mesh.hpp"
+#include "network/emesh_model.hpp"
+#include "network/synthetic.hpp"
+
+using namespace atacsim;
+using namespace atacsim::bench;
+
+namespace {
+
+double cycle_model_latency(double load, Cycle cycles) {
+  cyclenet::CycleMesh cm(MachineParams::small(8, 2));
+  Xoshiro256 rng(77);
+  const Cycle warm = cycles / 4;
+  for (Cycle t = 0; t < cycles; ++t) {
+    if (t == warm) cm.reset_stats();
+    for (CoreId c = 0; c < 64; ++c) {
+      if (!rng.bernoulli(load)) continue;
+      CoreId dst = static_cast<CoreId>(rng.next_below(63));
+      if (dst >= c) ++dst;
+      cm.inject(c, dst, 1, t);
+    }
+    cm.step();
+  }
+  return cm.latency().mean();
+}
+
+double flow_model_latency(double load, Cycle cycles) {
+  net::EMeshModel fm(MachineParams::small(8, 2), false);
+  net::SyntheticConfig cfg;
+  cfg.offered_load = load;
+  cfg.bcast_fraction = 0.0;
+  cfg.warmup_cycles = cycles / 4;
+  cfg.measure_cycles = cycles - cycles / 4;
+  cfg.seed = 77;
+  return net::run_synthetic(fm, fm.geom(), cfg).avg_latency_cycles;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation",
+               "flow-level vs cycle-accurate network model (8x8 mesh)");
+
+  Table t({"load (flits/cyc/core)", "cycle-accurate", "flow-level",
+           "flow/cycle"});
+  for (double load : {0.002, 0.01, 0.05, 0.10, 0.20, 0.30, 0.45}) {
+    const double ca = cycle_model_latency(load, 20000);
+    const double fl = flow_model_latency(load, 20000);
+    t.add_row({Table::num(load, 3), Table::num(ca, 1), Table::num(fl, 1),
+               Table::num(fl / ca, 2)});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nReading: zero-load latencies agree within a few percent. At"
+      "\nmoderate load the flow model is mildly pessimistic on latency (its"
+      "\nreservation horizon has no bounded buffers); at extreme load it is"
+      "\noptimistic on ultimate capacity (~20-30%%: it does not model switch"
+      "\narbitration conflicts). The application studies run far below that"
+      "\nregime (Fig. 6: <0.03 flits/cycle/core), where agreement is tight.\n\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Ablation: execution-driven vs trace-driven simulation — the paper's core
+// methodological claim (Sec. I): "synthetic traffic and trace-driven
+// approaches do not propagate network delay back to the application".
+//
+// Method: run each application execution-driven on ATAC+ while capturing
+// its per-core memory trace, then replay that trace open-loop (recorded
+// issue gaps, no dependence on miss completion) on ATAC+, EMesh-BCast and
+// EMesh-Pure. A trace-driven methodology would use the replay runtimes to
+// compare the networks; the execution-driven rows show what the comparison
+// should have been.
+#include "bench_common.hpp"
+#include "apps/app.hpp"
+#include "core/program.hpp"
+#include "sim/trace.hpp"
+
+using namespace atacsim;
+using namespace atacsim::bench;
+
+namespace {
+
+struct AppRun {
+  Cycle exec_cycles;
+  sim::Trace trace;
+};
+
+AppRun capture(const std::string& app_name, const MachineParams& mp,
+               double scale) {
+  apps::AppConfig cfg;
+  cfg.num_cores = mp.num_cores;
+  cfg.scale = scale;
+  auto app = apps::make_app(app_name, cfg);
+  core::Program prog(mp);
+  sim::TraceRecorder rec(mp.num_cores);
+  prog.set_tracer(&rec);
+  prog.spawn_all(app->body());
+  const auto r = prog.run(5'000'000'000ull);
+  return {r.completion_cycles, rec.take()};
+}
+
+Cycle exec_on(const std::string& app_name, const MachineParams& mp,
+              double scale) {
+  return run(app_name, mp, scale).run.completion_cycles;
+}
+
+Cycle replay_on(const sim::Trace& trace, const MachineParams& mp) {
+  sim::Machine m(mp);
+  return sim::replay_trace(m, trace).completion_cycles;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation",
+               "execution-driven vs trace-driven network comparison");
+
+  // Small scale keeps the open-loop replays (which flood MSHRs) tractable.
+  const double scale = std::min(bench_scale(), 0.25);
+  const std::vector<std::string> apps = {"radix", "ocean_contig", "barnes"};
+
+  Table t({"benchmark", "method", "ATAC+", "EMesh-BCast", "EMesh-Pure",
+           "BCast/ATAC+", "Pure/ATAC+"});
+  for (const auto& app : apps) {
+    const auto cap = capture(app, harness::atac_plus(), scale);
+
+    const double e_atac = static_cast<double>(exec_on(app, harness::atac_plus(), scale));
+    const double e_bc = static_cast<double>(exec_on(app, harness::emesh_bcast(), scale));
+    const double e_pu = static_cast<double>(exec_on(app, harness::emesh_pure(), scale));
+    t.add_row({app, "execution", Table::num(e_atac, 0), Table::num(e_bc, 0),
+               Table::num(e_pu, 0), Table::num(e_bc / e_atac, 2),
+               Table::num(e_pu / e_atac, 2)});
+
+    const double r_atac = static_cast<double>(replay_on(cap.trace, harness::atac_plus()));
+    const double r_bc = static_cast<double>(replay_on(cap.trace, harness::emesh_bcast()));
+    const double r_pu = static_cast<double>(replay_on(cap.trace, harness::emesh_pure()));
+    t.add_row({app, "trace-replay", Table::num(r_atac, 0),
+               Table::num(r_bc, 0), Table::num(r_pu, 0),
+               Table::num(r_bc / r_atac, 2), Table::num(r_pu / r_atac, 2)});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nReading: open-loop replay issues accesses at recorded gaps, so a"
+      "\nslower network cannot stall the instruction stream — the replay"
+      "\nunder-reports the EMesh penalty (smaller BCast/ATAC+ and Pure/ATAC+"
+      "\nratios than the execution-driven truth). This is the evaluation"
+      "\nerror the paper's methodology exists to avoid (Sec. I).\n\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared scaffolding for the per-figure bench binaries: the benchmark
+// application list, default scales, and run helpers over the scenario cache.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "harness/cache.hpp"
+#include "harness/runner.hpp"
+
+namespace atacsim::bench {
+
+using harness::Outcome;
+using harness::Scenario;
+
+/// The paper's eight benchmarks (Fig. 4 order).
+inline const std::vector<std::string>& benchmarks() {
+  return apps::app_names();
+}
+
+/// Problem-size multiplier for the full-figure runs; override with
+/// ATACSIM_SCALE for quicker smoke runs.
+inline double bench_scale() {
+  if (const char* e = std::getenv("ATACSIM_SCALE")) return std::atof(e);
+  return 1.0;
+}
+
+inline Outcome run(const std::string& app, const MachineParams& mp,
+                   double scale = bench_scale()) {
+  Scenario s;
+  s.app = app;
+  s.mp = mp;
+  s.scale = scale;
+  return harness::run_scenario_cached(s, /*allow_failure=*/true);
+}
+
+inline void print_header(const char* fig, const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", fig, what);
+  std::printf("machine: 1024 cores, 64 clusters, 11 nm (paper Tables I-III)\n");
+  std::printf("==============================================================\n");
+}
+
+/// Geometric mean helper used for cross-benchmark averages.
+inline double geomean(const std::vector<double>& xs) {
+  double logsum = 0;
+  for (double x : xs) logsum += std::log(x);
+  return xs.empty() ? 0.0 : std::exp(logsum / xs.size());
+}
+
+}  // namespace atacsim::bench

@@ -1,0 +1,68 @@
+// Extension: the combined ATAC -> ATAC+ story (paper Secs. IV + V-E in one
+// table). "ATAC classic" is the original architecture: Cluster routing +
+// broadcast BNet + off-chip always-on laser (the Cons flavour);
+// ATAC+ adds the adaptive SWMR link (power gating), the StarNet and
+// Distance-15 routing. Each column enables one improvement.
+#include "bench_common.hpp"
+
+using namespace atacsim;
+using namespace atacsim::bench;
+
+namespace {
+
+MachineParams atac_classic() {
+  auto mp = harness::atac_plus(PhotonicFlavor::kCons);
+  mp.routing = RoutingPolicy::kCluster;
+  mp.receive_net = ReceiveNet::kBNet;
+  return mp;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Extension",
+               "ATAC (classic) -> ATAC+ step-by-step improvements");
+
+  struct Step {
+    const char* name;
+    MachineParams mp;
+  };
+  std::vector<Step> steps;
+  steps.push_back({"ATAC (Cons+BNet+Cluster)", atac_classic()});
+  auto s1 = atac_classic();
+  s1.photonics = PhotonicFlavor::kDefault;  // adaptive SWMR (gated laser)
+  steps.push_back({"+ adaptive SWMR", s1});
+  auto s2 = s1;
+  s2.receive_net = ReceiveNet::kStarNet;
+  steps.push_back({"+ StarNet", s2});
+  auto s3 = s2;
+  s3.routing = RoutingPolicy::kDistance;
+  s3.r_thres = 15;
+  steps.push_back({"+ Distance-15 (= ATAC+)", s3});
+
+  std::vector<std::string> header = {"benchmark"};
+  for (const auto& s : steps) header.push_back(s.name);
+  Table t(header);
+
+  std::vector<std::vector<double>> ratios(steps.size());
+  for (const auto& app : benchmarks()) {
+    std::vector<double> edp;
+    for (const auto& s : steps) edp.push_back(run(app, s.mp).edp());
+    std::vector<std::string> row = {app};
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      ratios[i].push_back(edp[i] / edp[0]);
+      row.push_back(Table::num(edp[i] / edp[0], 3));
+    }
+    t.add_row(std::move(row));
+  }
+  std::vector<std::string> avg = {"geomean"};
+  for (auto& r : ratios) avg.push_back(Table::num(geomean(r), 3));
+  t.add_row(std::move(avg));
+  t.print(std::cout);
+  std::printf(
+      "\nReading: the adaptive SWMR link (laser power gating) delivers the"
+      "\nbulk of the energy-delay win; StarNet and distance-based routing"
+      "\neach shave a further slice — the decomposition behind the paper's"
+      "\nSec. V-E.\n\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Extension: the two additional SPLASH-2 workloads (fft, water_nsq) on the
+// three networks — coverage of traffic patterns the paper's eight do not
+// exercise (all-to-all transposes; fine-grained per-molecule locking).
+#include "bench_common.hpp"
+
+using namespace atacsim;
+using namespace atacsim::bench;
+
+int main() {
+  print_header("Extension", "fft and water_nsq across networks");
+
+  Table t({"benchmark", "config", "cycles", "norm to ATAC+", "EDP norm",
+           "bcast recv %"});
+  for (const auto& app : apps::extension_app_names()) {
+    double base_cycles = 0, base_edp = 0;
+    for (const auto* cfg : {"atac", "bcast", "pure"}) {
+      MachineParams mp = std::string(cfg) == "atac"
+                             ? harness::atac_plus()
+                             : (std::string(cfg) == "bcast"
+                                    ? harness::emesh_bcast()
+                                    : harness::emesh_pure());
+      const auto o = run(app, mp);
+      if (base_cycles == 0) {
+        base_cycles = static_cast<double>(o.run.completion_cycles);
+        base_edp = o.edp();
+      }
+      t.add_row({app, harness::config_name(mp),
+                 std::to_string(o.run.completion_cycles),
+                 Table::num(o.run.completion_cycles / base_cycles, 2),
+                 Table::num(o.edp() / base_edp, 2),
+                 Table::num(100 * o.bcast_recv_fraction(), 1)});
+    }
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nReading: the ATAC+ advantage persists on workloads outside the"
+      "\npaper's suite. fft's transposes leave every matrix line widely"
+      "\nread-shared, so the next phase's writes become ACKwise broadcast"
+      "\ninvalidations — EMesh-Pure collapses. Lock-bound water_nsq is"
+      "\nlatency-bound and gains a smaller, ocean-like factor.\n\n");
+  return 0;
+}

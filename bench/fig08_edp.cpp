@@ -1,0 +1,59 @@
+// Fig. 8: normalized energy-delay product per benchmark across the four
+// ATAC+ flavours and the two electrical baselines (ACKwise4), normalized to
+// ATAC+(Ideal).
+//
+// Headline result (paper abstract): EMesh-BCast ~1.8x and EMesh-Pure ~4.8x
+// higher E-D product than ATAC+ on average; ATAC+ ~= ATAC+(Ideal).
+#include "bench_common.hpp"
+
+using namespace atacsim;
+using namespace atacsim::bench;
+
+int main() {
+  print_header("Figure 8", "normalized energy-delay product (ACKwise4)");
+
+  struct Config {
+    std::string name;
+    MachineParams mp;
+  };
+  const std::vector<Config> configs = {
+      {"ATAC+(Ideal)", harness::atac_plus(PhotonicFlavor::kIdeal)},
+      {"ATAC+", harness::atac_plus(PhotonicFlavor::kDefault)},
+      {"ATAC+(RingTuned)", harness::atac_plus(PhotonicFlavor::kRingTuned)},
+      {"ATAC+(Cons)", harness::atac_plus(PhotonicFlavor::kCons)},
+      {"EMesh-BCast", harness::emesh_bcast()},
+      {"EMesh-Pure", harness::emesh_pure()},
+  };
+
+  std::vector<std::string> header = {"benchmark"};
+  for (const auto& c : configs) header.push_back(c.name);
+  Table t(header);
+
+  std::vector<std::vector<double>> ratios(configs.size());
+  for (const auto& app : benchmarks()) {
+    std::vector<double> edp;
+    for (const auto& c : configs) edp.push_back(run(app, c.mp).edp());
+    std::vector<std::string> row = {app};
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      const double r = edp[i] / edp[0];
+      ratios[i].push_back(r);
+      row.push_back(Table::num(r, 2));
+    }
+    t.add_row(std::move(row));
+  }
+  std::vector<std::string> avg = {"geomean"};
+  std::vector<double> means;
+  for (auto& r : ratios) {
+    means.push_back(geomean(r));
+    avg.push_back(Table::num(means.back(), 2));
+  }
+  t.add_row(std::move(avg));
+  t.print(std::cout);
+
+  const double atac = means[1];
+  std::printf(
+      "\nHeadline: EMesh-BCast/ATAC+ = %.2fx, EMesh-Pure/ATAC+ = %.2fx"
+      "\n(paper: 1.8x and 4.8x); ATAC+/Ideal = %.2fx (paper: ~1.0x).\n\n",
+      means[4] / atac, means[5] / atac, atac / means[0]);
+  return 0;
+}

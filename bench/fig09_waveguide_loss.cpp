@@ -1,0 +1,49 @@
+// Fig. 9: sensitivity of ATAC+ network+cache energy to waveguide loss
+// (0.2 - 4 dB/cm), normalized to EMesh-BCast.
+//
+// Expected shape: ATAC+ tolerates up to ~2 dB/cm before its energy exceeds
+// the EMesh-BCast baseline — laser power grows exponentially with loss but
+// starts from a tiny gated base.
+#include "bench_common.hpp"
+
+using namespace atacsim;
+using namespace atacsim::bench;
+
+int main() {
+  print_header("Figure 9", "waveguide-loss sensitivity (8-benchmark average)");
+
+  const std::vector<double> losses = {0.2, 0.5, 1.0, 2.0, 3.0, 4.0};
+  const auto atac_mp = harness::atac_plus(PhotonicFlavor::kDefault);
+  const auto mesh_mp = harness::emesh_bcast();
+
+  // Baseline energy: EMesh-BCast average across benchmarks.
+  double mesh_total = 0;
+  std::vector<Outcome> atac_runs;
+  for (const auto& app : benchmarks()) {
+    mesh_total += run(app, mesh_mp).energy.chip_no_core();
+    atac_runs.push_back(run(app, atac_mp));
+  }
+  mesh_total /= benchmarks().size();
+
+  Table t({"waveguide loss (dB/cm)", "ATAC+ energy / EMesh-BCast",
+           "laser share %"});
+  for (double loss : losses) {
+    TechBundle tb;
+    tb.photonics.waveguide_loss_dB_per_cm = loss;
+    double total = 0, laser = 0;
+    for (const auto& o : atac_runs) {
+      const auto e = harness::recompute_energy(o, atac_mp, tb);
+      total += e.chip_no_core();
+      laser += e.laser;
+    }
+    total /= atac_runs.size();
+    laser /= atac_runs.size();
+    t.add_row({Table::num(loss, 1), Table::num(total / mesh_total, 3),
+               Table::num(100.0 * laser / total, 2)});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nPaper check: ATAC+ stays below the EMesh-BCast energy up to ~2"
+      "\ndB/cm of waveguide loss (Sec. V-C).\n\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig. 11: ATAC+ application runtime as the network flit width is varied
+// from 16 to 256 bits (normalized to 64 bits).
+//
+// Expected shape: poor at 16 bits, improving steeply to 64 bits, then
+// flattening (the paper picks 64 bits because wider flits quadruple the
+// optical die area for ~10% runtime).
+#include "bench_common.hpp"
+
+using namespace atacsim;
+using namespace atacsim::bench;
+
+int main() {
+  print_header("Figure 11", "runtime vs flit width (normalized to 64-bit)");
+
+  const std::vector<int> widths = {16, 32, 64, 128, 256};
+  // The paper's Fig. 11 shows a representative subset of the benchmarks.
+  const std::vector<std::string> apps = {"radix", "barnes", "ocean_contig",
+                                         "lu_contig", "dynamic_graph"};
+
+  std::vector<std::string> header = {"benchmark"};
+  for (int w : widths) header.push_back(std::to_string(w) + "-bit");
+  Table t(header);
+
+  std::vector<std::vector<double>> norm(widths.size());
+  for (const auto& app : apps) {
+    std::vector<double> cycles;
+    for (int w : widths) {
+      auto mp = harness::atac_plus();
+      mp.flit_bits = w;
+      cycles.push_back(static_cast<double>(run(app, mp).run.completion_cycles));
+    }
+    const double base = cycles[2];  // 64-bit
+    std::vector<std::string> row = {app};
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      norm[i].push_back(cycles[i] / base);
+      row.push_back(Table::num(cycles[i] / base, 2));
+    }
+    t.add_row(std::move(row));
+  }
+  std::vector<std::string> avg = {"geomean"};
+  for (auto& n : norm) avg.push_back(Table::num(geomean(n), 2));
+  t.add_row(std::move(avg));
+  t.print(std::cout);
+
+  // The area cost that motivates stopping at 64 bits.
+  std::printf("\noptical area: ");
+  for (int w : widths) {
+    auto mp = harness::atac_plus();
+    mp.flit_bits = w;
+    const power::EnergyModel em(mp);
+    std::printf("%d-bit=%.0fmm^2  ", w, em.area().optical);
+  }
+  std::printf(
+      "\nPaper check: large gain 16->64 bits, ~10%% beyond; 256-bit optics"
+      "\nwould occupy ~160 mm^2 (unacceptable).\n\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Google-benchmark microbenchmarks of the simulator's hot components:
+// event-queue throughput, flow-level network injection, cache-array lookups,
+// and coherence miss round-trips. These guard the simulator's own
+// performance (a 1024-core application run issues millions of each).
+#include <benchmark/benchmark.h>
+
+#include "memory/cache_array.hpp"
+#include "network/atac_model.hpp"
+#include "network/emesh_model.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/machine.hpp"
+
+namespace atacsim {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i)
+      q.schedule(static_cast<Cycle>(i % 97), [&sink] { ++sink; });
+    q.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_EMeshUnicast(benchmark::State& state) {
+  net::EMeshModel m(MachineParams::paper(), true);
+  auto noop = [](CoreId, Cycle) {};
+  Cycle t = 0;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    net::NetPacket p{.src = static_cast<CoreId>(i % 1024),
+                     .dst = static_cast<CoreId>((i * 37 + 11) % 1024),
+                     .bits = 128,
+                     .cls = net::MsgClass::kSynthetic};
+    if (p.dst == p.src) p.dst = (p.dst + 1) % 1024;
+    m.inject(t++, p, noop);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EMeshUnicast);
+
+void BM_AtacBroadcast(benchmark::State& state) {
+  auto mp = MachineParams::paper();
+  mp.network = NetworkKind::kAtacPlus;
+  net::AtacModel m(mp);
+  auto noop = [](CoreId, Cycle) {};
+  Cycle t = 0;
+  for (auto _ : state) {
+    net::NetPacket p{.src = static_cast<CoreId>(t % 1024),
+                     .dst = kBroadcastCore,
+                     .bits = 128,
+                     .cls = net::MsgClass::kSynthetic};
+    m.inject(t += 16, p, noop);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AtacBroadcast);
+
+void BM_CacheArrayLookup(benchmark::State& state) {
+  mem::CacheArray c(256, 8, 64);
+  for (Addr a = 0; a < 4096; ++a)
+    c.install(a * 64, mem::LineState::kShared);
+  Addr a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.lookup((a * 64) & 0x3FFFF));
+    a += 17;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheArrayLookup);
+
+void BM_CoherenceMissRoundTrip(benchmark::State& state) {
+  auto mp = MachineParams::small(8, 2);
+  sim::Machine m(mp);
+  Addr a = 0x1000000;
+  for (auto _ : state) {
+    bool done = false;
+    m.cache(static_cast<CoreId>(a % 64)).access(a, false,
+                                                [&](Cycle) { done = true; });
+    m.run();
+    benchmark::DoNotOptimize(done);
+    a += 64;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoherenceMissRoundTrip);
+
+}  // namespace
+}  // namespace atacsim
+
+BENCHMARK_MAIN();

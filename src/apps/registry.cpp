@@ -1,0 +1,42 @@
+#include <stdexcept>
+
+#include "apps/app.hpp"
+
+namespace atacsim::apps {
+
+std::unique_ptr<App> make_radix(const AppConfig&);
+std::unique_ptr<App> make_lu(const AppConfig&, bool contiguous);
+std::unique_ptr<App> make_ocean(const AppConfig&, bool contiguous);
+std::unique_ptr<App> make_barnes(const AppConfig&);
+std::unique_ptr<App> make_fmm(const AppConfig&);
+std::unique_ptr<App> make_dynamic_graph(const AppConfig&);
+std::unique_ptr<App> make_fft(const AppConfig&);
+std::unique_ptr<App> make_water(const AppConfig&);
+
+const std::vector<std::string>& app_names() {
+  static const std::vector<std::string> names = {
+      "dynamic_graph", "radix",        "barnes",           "fmm",
+      "ocean_contig",  "lu_contig",    "ocean_non_contig", "lu_non_contig"};
+  return names;
+}
+
+const std::vector<std::string>& extension_app_names() {
+  static const std::vector<std::string> names = {"fft", "water_nsq"};
+  return names;
+}
+
+std::unique_ptr<App> make_app(const std::string& name, const AppConfig& cfg) {
+  if (name == "fft") return make_fft(cfg);
+  if (name == "water_nsq") return make_water(cfg);
+  if (name == "radix") return make_radix(cfg);
+  if (name == "lu_contig") return make_lu(cfg, true);
+  if (name == "lu_non_contig") return make_lu(cfg, false);
+  if (name == "ocean_contig") return make_ocean(cfg, true);
+  if (name == "ocean_non_contig") return make_ocean(cfg, false);
+  if (name == "barnes") return make_barnes(cfg);
+  if (name == "fmm") return make_fmm(cfg);
+  if (name == "dynamic_graph") return make_dynamic_graph(cfg);
+  throw std::invalid_argument("unknown app: " + name);
+}
+
+}  // namespace atacsim::apps

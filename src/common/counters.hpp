@@ -1,0 +1,77 @@
+// Event counters produced by the functional simulation and consumed by the
+// power models — the same "Graphite counters -> DSENT/McPAT energies"
+// toolflow as the paper (Sec. V-A).
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+
+namespace atacsim {
+
+/// Network activity counters, filled by whichever NetworkModel runs.
+struct NetCounters {
+  // --- electrical ---
+  std::uint64_t enet_router_flits = 0;  ///< flit x router traversals
+  std::uint64_t enet_link_flits = 0;    ///< flit x link traversals
+  std::uint64_t recvnet_link_flits = 0; ///< StarNet/BNet link traversals
+  std::uint64_t hub_flits = 0;          ///< flits crossing a hub
+
+  // --- optical ---
+  std::uint64_t onet_flits_sent = 0;        ///< flits modulated onto the ONet
+  std::uint64_t onet_flit_receptions = 0;   ///< flits x tuned-in receivers
+  std::uint64_t onet_selects = 0;           ///< select-link notifications
+  std::uint64_t laser_unicast_cycles = 0;   ///< summed over all hub lasers
+  std::uint64_t laser_bcast_cycles = 0;     ///< summed over all hub lasers
+
+  // --- traffic accounting (Figs. 5, 6; Table V) ---
+  std::uint64_t unicast_packets = 0;
+  std::uint64_t bcast_packets = 0;
+  std::uint64_t flits_injected = 0;
+  std::uint64_t recv_unicast_flits = 0;  ///< receiver-side unicast flits
+  std::uint64_t recv_bcast_flits = 0;    ///< receiver-side broadcast flits
+
+  Accumulator packet_latency;  ///< injection -> (last) delivery, cycles
+
+  void add(const NetCounters& o) {
+    enet_router_flits += o.enet_router_flits;
+    enet_link_flits += o.enet_link_flits;
+    recvnet_link_flits += o.recvnet_link_flits;
+    hub_flits += o.hub_flits;
+    onet_flits_sent += o.onet_flits_sent;
+    onet_flit_receptions += o.onet_flit_receptions;
+    onet_selects += o.onet_selects;
+    laser_unicast_cycles += o.laser_unicast_cycles;
+    laser_bcast_cycles += o.laser_bcast_cycles;
+    unicast_packets += o.unicast_packets;
+    bcast_packets += o.bcast_packets;
+    flits_injected += o.flits_injected;
+    recv_unicast_flits += o.recv_unicast_flits;
+    recv_bcast_flits += o.recv_bcast_flits;
+  }
+};
+
+/// Memory-hierarchy activity counters (whole machine).
+struct MemCounters {
+  std::uint64_t l1i_accesses = 0;
+  std::uint64_t l1d_reads = 0;
+  std::uint64_t l1d_writes = 0;
+  std::uint64_t l2_reads = 0;
+  std::uint64_t l2_writes = 0;
+  std::uint64_t dir_reads = 0;
+  std::uint64_t dir_writes = 0;
+  std::uint64_t dram_reads = 0;
+  std::uint64_t dram_writes = 0;
+  std::uint64_t l1d_misses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t invalidations_sent = 0;
+  std::uint64_t bcast_invalidations = 0;
+};
+
+/// Per-core execution counters (whole machine aggregates).
+struct CoreCounters {
+  std::uint64_t instructions = 0;
+  std::uint64_t busy_cycles = 0;  ///< cycles cores spent not stalled
+};
+
+}  // namespace atacsim

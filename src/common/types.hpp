@@ -1,0 +1,29 @@
+// Core scalar types shared by every atacsim module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace atacsim {
+
+/// Simulated clock cycle (cores and networks run at a common 1 GHz clock).
+using Cycle = std::uint64_t;
+
+/// Simulated core / tile identifier, in [0, num_cores).
+using CoreId = std::int32_t;
+
+/// Optical-hub (cluster) identifier, in [0, num_clusters).
+using HubId = std::int32_t;
+
+/// Simulated byte address. Application data lives in host memory; its host
+/// pointer value doubles as the simulated address, so homes and cache sets are
+/// derived from real data layout.
+using Addr = std::uint64_t;
+
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+inline constexpr CoreId kInvalidCore = -1;
+
+/// Broadcast destination sentinel accepted by all network models.
+inline constexpr CoreId kBroadcastCore = -2;
+
+}  // namespace atacsim

@@ -1,0 +1,178 @@
+// Simulated-core execution context: the API application kernels program
+// against. Every shared-memory load/store/RMW is timed through the simulated
+// cache hierarchy and network (with full back-pressure); non-memory work is
+// accounted with compute().
+//
+// Timing model (lax synchronization, as in Graphite): each core keeps a
+// local clock that advances synchronously through L1 hits and compute, and
+// re-synchronizes with the global event clock on every miss, wait or
+// periodic yield. Data itself lives in host memory; host pointer values are
+// the simulated addresses, so homes and cache sets follow real data layout.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+
+#include "core/task.hpp"
+#include "sim/machine.hpp"
+#include "sim/trace.hpp"
+
+namespace atacsim::core {
+
+class CoreCtx {
+ public:
+  CoreCtx(sim::Machine& m, CoreId self)
+      : machine_(&m), cache_(&m.cache(self)), self_(self) {}
+
+  CoreId id() const { return self_; }
+  /// Optional trace capture (see sim/trace.hpp); null disables recording.
+  void set_tracer(sim::TraceRecorder* t) { tracer_ = t; }
+  int num_cores() const { return machine_->params().num_cores; }
+  /// Core-local cycle count.
+  Cycle now() const { return local_time_; }
+  std::uint64_t instructions() const { return instructions_; }
+  Cycle busy_cycles() const { return busy_cycles_; }
+
+  // --- awaitables -----------------------------------------------------
+
+  /// Timed access to the line containing `p`. Loads need S, stores need M.
+  auto access(const void* p, bool write) {
+    return AccessAwaiter{this, reinterpret_cast<Addr>(p), write};
+  }
+
+  /// Typed load: timing via access(), value from host memory at commit.
+  template <typename T>
+  auto read(const T* p) {
+    struct A : AccessAwaiter {
+      T await_resume() const { return *static_cast<const T*>(ptr); }
+    };
+    return A{{this, reinterpret_cast<Addr>(p), false, p}};
+  }
+
+  /// Typed store.
+  template <typename T>
+  auto write(T* p, T v) {
+    struct A : AccessAwaiter {
+      T value;
+      void await_resume() const { *static_cast<T*>(const_cast<void*>(ptr)) = value; }
+    };
+    return A{{this, reinterpret_cast<Addr>(p), true, p}, v};
+  }
+
+  /// Atomic read-modify-write: acquires exclusive ownership, then applies
+  /// `f` to the old value; returns the old value.
+  template <typename T, typename F>
+  auto rmw(T* p, F f) {
+    struct A : AccessAwaiter {
+      F fn;
+      T await_resume() const {
+        T* tp = static_cast<T*>(const_cast<void*>(ptr));
+        T old = *tp;
+        *tp = fn(old);
+        return old;
+      }
+    };
+    return A{{this, reinterpret_cast<Addr>(p), true, p}, std::move(f)};
+  }
+
+  /// Advances the local clock by `n` instruction cycles (1 instr/cycle,
+  /// in-order single-issue).
+  auto compute(std::uint64_t n) { return ComputeAwaiter{this, n}; }
+
+  /// Suspends until the cached line holding `p` is invalidated, demoted or
+  /// evicted here (fires immediately if absent) — the primitive spin-waits
+  /// are built on, so waiting burns no simulated traffic.
+  auto wait_for_change(const void* p) {
+    return WaitAwaiter{this, reinterpret_cast<Addr>(p)};
+  }
+
+  // --- internals -------------------------------------------------------
+
+  struct AccessAwaiter {
+    CoreCtx* c;
+    Addr addr;
+    bool is_write;
+    const void* ptr = nullptr;
+
+    bool await_ready() const {
+      // Periodic forced yield bounds local-clock drift.
+      if (c->tracer_) c->tracer_->record(c->self_, addr, is_write, c->local_time_);
+      if ((++c->fast_ops_ & 1023u) == 0) return false;
+      if (!c->cache_->fast_access(c->addr_of(addr), is_write)) return false;
+      c->advance(c->machine_->params().l1_hit_cycles);
+      ++c->instructions_;
+      return true;
+    }
+    void await_suspend(std::coroutine_handle<> h) const {
+      CoreCtx* ctx = c;
+      const Addr a = addr;
+      const bool w = is_write;
+      ctx->machine_->events().schedule(ctx->local_time_, [ctx, a, w, h] {
+        ctx->cache_->access(a, w, [ctx, h](Cycle t) {
+          ctx->sync_to(t);
+          ++ctx->instructions_;
+          h.resume();
+        });
+      });
+    }
+    void await_resume() const {}
+  };
+
+  struct ComputeAwaiter {
+    CoreCtx* c;
+    std::uint64_t n;
+    bool await_ready() const {
+      c->advance(n);
+      c->instructions_ += n;
+      return n < 4096;  // long compute phases yield to the event loop
+    }
+    void await_suspend(std::coroutine_handle<> h) const {
+      c->machine_->events().schedule(c->local_time_, [h] { h.resume(); });
+    }
+    void await_resume() const {}
+  };
+
+  struct WaitAwaiter {
+    CoreCtx* c;
+    Addr addr;
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      CoreCtx* ctx = c;
+      const Addr a = addr;
+      ctx->machine_->events().schedule(ctx->local_time_, [ctx, a, h] {
+        ctx->cache_->wait_for_change(a, [ctx, h](Cycle t) {
+          ctx->sync_to(t);
+          h.resume();
+        });
+      });
+    }
+    void await_resume() const {}
+  };
+
+ private:
+  friend struct AccessAwaiter;
+  Addr addr_of(Addr a) const { return a; }
+  void advance(Cycle dt) {
+    local_time_ += dt;
+    busy_cycles_ += dt;
+  }
+  void sync_to(Cycle t) {
+    if (t > local_time_) local_time_ = t;
+    // busy during the access pipeline portion only; stall cycles not busy.
+  }
+
+  sim::Machine* machine_;
+  mem::CacheController* cache_;
+  CoreId self_;
+  Cycle local_time_ = 0;
+  Cycle busy_cycles_ = 0;
+  std::uint64_t instructions_ = 0;
+  std::uint32_t fast_ops_ = 0;
+  sim::TraceRecorder* tracer_ = nullptr;
+};
+
+/// Application kernel signature: one coroutine per simulated core.
+using AppBody = std::function<Task<void>(CoreCtx&)>;
+
+}  // namespace atacsim::core

@@ -1,0 +1,48 @@
+#include "core/program.hpp"
+
+#include <algorithm>
+
+namespace atacsim::core {
+
+Program::Program(const MachineParams& mp)
+    : machine_(std::make_unique<sim::Machine>(mp)) {
+  ctxs_.reserve(static_cast<std::size_t>(mp.num_cores));
+  for (CoreId c = 0; c < mp.num_cores; ++c)
+    ctxs_.push_back(std::make_unique<CoreCtx>(*machine_, c));
+}
+
+RootTask Program::root(CoreCtx& c, AppBody body) {
+  co_await body(c);
+  --outstanding_;
+}
+
+void Program::spawn_all(const AppBody& body, int n) {
+  const int count = (n < 0) ? machine_->params().num_cores : n;
+  for (CoreId c = 0; c < count; ++c) {
+    ++outstanding_;
+    RootTask t = root(*ctxs_[static_cast<std::size_t>(c)], body);
+    machine_->events().schedule(0, [h = t.handle] { h.resume(); });
+  }
+}
+
+RunResult Program::run(Cycle max_cycles) {
+  RunResult r;
+  r.finished = machine_->run(max_cycles) && outstanding_ == 0;
+
+  for (const auto& c : ctxs_) {
+    r.completion_cycles = std::max(r.completion_cycles, c->now());
+    r.total_instructions += c->instructions();
+    r.core.busy_cycles += c->busy_cycles();
+  }
+  r.core.instructions = r.total_instructions;
+  r.avg_ipc = r.completion_cycles
+                  ? static_cast<double>(r.total_instructions) /
+                        (static_cast<double>(r.completion_cycles) *
+                         ctxs_.size())
+                  : 0.0;
+  r.net = machine_->net_counters();
+  r.mem = machine_->mem_counters();
+  return r;
+}
+
+}  // namespace atacsim::core

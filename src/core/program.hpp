@@ -1,0 +1,53 @@
+// Program: runs one application kernel coroutine per simulated core on a
+// Machine, and reports completion time, IPC and the activity counters the
+// power models consume.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/counters.hpp"
+#include "core/core_ctx.hpp"
+#include "core/task.hpp"
+#include "sim/machine.hpp"
+
+namespace atacsim::core {
+
+struct RunResult {
+  Cycle completion_cycles = 0;  ///< max core-local finish time
+  std::uint64_t total_instructions = 0;
+  double avg_ipc = 0;
+  NetCounters net;
+  MemCounters mem;
+  CoreCounters core;
+  bool finished = false;  ///< false if the safety cycle limit was hit
+};
+
+class Program {
+ public:
+  explicit Program(const MachineParams& mp);
+
+  sim::Machine& machine() { return *machine_; }
+  CoreCtx& ctx(CoreId c) { return *ctxs_[static_cast<std::size_t>(c)]; }
+
+  /// Spawns `body` on every core (or the first `n` cores if n >= 0).
+  void spawn_all(const AppBody& body, int n = -1);
+
+  /// Enables memory-trace capture for all cores (see sim/trace.hpp).
+  void set_tracer(sim::TraceRecorder* t) {
+    if (t) t->resize_last_issue(machine_->params().num_cores);
+    for (auto& c : ctxs_) c->set_tracer(t);
+  }
+
+  /// Runs to completion of all spawned kernels (or the safety limit).
+  RunResult run(Cycle max_cycles = kNeverCycle);
+
+ private:
+  RootTask root(CoreCtx& c, AppBody body);
+
+  std::unique_ptr<sim::Machine> machine_;
+  std::vector<std::unique_ptr<CoreCtx>> ctxs_;
+  int outstanding_ = 0;
+};
+
+}  // namespace atacsim::core

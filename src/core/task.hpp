@@ -1,0 +1,117 @@
+// Coroutine task types for simulated-core execution.
+//
+// `Task<T>` is a lazy, awaitable coroutine with symmetric-transfer
+// continuation — application code composes freely (a barrier wait can
+// co_await loads, stores and RMWs). `RootTask` is the fire-and-forget
+// top-level frame the Program resumes once per core from the event queue.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace atacsim::core {
+
+template <typename T = void>
+class Task;
+
+namespace detail {
+
+struct FinalAwaiter {
+  bool await_ready() noexcept { return false; }
+  template <typename P>
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<P> h) noexcept {
+    auto c = h.promise().continuation;
+    return c ? c : std::noop_coroutine();
+  }
+  void await_resume() noexcept {}
+};
+
+template <typename T>
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { std::terminate(); }
+};
+
+}  // namespace detail
+
+/// Lazy coroutine returning T; starts on first co_await.
+template <typename T>
+class Task {
+ public:
+  struct promise_type : detail::TaskPromiseBase<T> {
+    T value{};
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (h_) h_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    h_.promise().continuation = cont;
+    return h_;
+  }
+  T await_resume() { return std::move(h_.promise().value); }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  std::coroutine_handle<promise_type> h_;
+};
+
+template <>
+class Task<void> {
+ public:
+  struct promise_type : detail::TaskPromiseBase<void> {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (h_) h_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    h_.promise().continuation = cont;
+    return h_;
+  }
+  void await_resume() {}
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  std::coroutine_handle<promise_type> h_;
+};
+
+/// Fire-and-forget top-level frame: created suspended; the Program resumes
+/// it from the event queue; it destroys itself on completion.
+struct RootTask {
+  struct promise_type {
+    RootTask get_return_object() {
+      return RootTask{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+}  // namespace atacsim::core

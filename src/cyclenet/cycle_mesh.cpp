@@ -1,0 +1,131 @@
+#include "cyclenet/cycle_mesh.hpp"
+
+#include <cassert>
+
+namespace atacsim::cyclenet {
+
+CycleMesh::CycleMesh(const MachineParams& mp, int buffer_depth)
+    : geom_(mp), depth_(buffer_depth),
+      nodes_(static_cast<std::size_t>(geom_.num_cores())) {
+  for (auto& n : nodes_)
+    for (int d = 0; d < 4; ++d) n.credits[d] = depth_;
+}
+
+int CycleMesh::neighbor(int node, int dir) const {
+  const int x = geom_.x(node), y = geom_.y(node);
+  switch (dir) {
+    case 0: return x + 1 < geom_.width() ? geom_.core_at(x + 1, y) : -1;  // E
+    case 1: return x > 0 ? geom_.core_at(x - 1, y) : -1;                  // W
+    case 2: return y + 1 < geom_.width() ? geom_.core_at(x, y + 1) : -1;  // S
+    case 3: return y > 0 ? geom_.core_at(x, y - 1) : -1;                  // N
+  }
+  return -1;
+}
+
+int CycleMesh::route_of(CoreId here, CoreId dst) const {
+  // XY dimension-order, matching the flow model.
+  const int hx = geom_.x(here), hy = geom_.y(here);
+  const int dx = geom_.x(dst), dy = geom_.y(dst);
+  if (hx != dx) return dx > hx ? 0 : 1;
+  if (hy != dy) return dy > hy ? 2 : 3;
+  return kLocal;  // eject
+}
+
+void CycleMesh::inject(CoreId src, CoreId dst, int flits, Cycle now) {
+  auto& q = nodes_[static_cast<std::size_t>(src)].in[kLocal].buf;
+  for (int i = 0; i < flits; ++i) {
+    Flit f;
+    f.pkt = next_pkt_;
+    f.dst = dst;
+    f.injected = now;
+    f.head = (i == 0);
+    f.tail = (i == flits - 1);
+    q.push_back(f);
+  }
+  ++next_pkt_;
+}
+
+bool CycleMesh::idle() const {
+  for (const auto& n : nodes_)
+    for (const auto& p : n.in)
+      if (!p.buf.empty()) return false;
+  return true;
+}
+
+void CycleMesh::step() {
+  // Per-hop latency: router (1 cycle) + link (1 cycle), encoded in each
+  // flit's `ready` timestamp (arrival + 2 at the downstream buffer). Worms
+  // never interleave: an output port is locked to the worm's input from its
+  // head until its tail passes.
+  struct Move {
+    int node;
+    int in;
+    int out;
+  };
+  std::vector<Move> moves;
+  moves.reserve(nodes_.size());
+
+  for (int ni = 0; ni < static_cast<int>(nodes_.size()); ++ni) {
+    Node& n = nodes_[static_cast<std::size_t>(ni)];
+    bool out_taken[kPorts] = {};
+    // Round-robin over inputs so no port starves.
+    for (int k = 0; k < kPorts; ++k) {
+      const int in = (n.rr + k) % kPorts;
+      InputPort& p = n.in[in];
+      if (p.buf.empty()) continue;
+      Flit& f = p.buf.front();
+      if (f.ready > now_) continue;
+      int out = p.route;
+      if (f.head) {
+        out = route_of(static_cast<CoreId>(ni), f.dst);
+      }
+      assert(out >= 0);
+      if (out_taken[out]) continue;
+      // Worm exclusivity: a locked output only serves its owner; an
+      // unlocked output only accepts head flits.
+      if (n.out_lock[out] != -1 && n.out_lock[out] != in) continue;
+      if (n.out_lock[out] == -1 && !f.head) continue;
+      if (out != kLocal && n.credits[out] <= 0) continue;
+      out_taken[out] = true;
+      moves.push_back({ni, in, out});
+    }
+    n.rr = (n.rr + 1) % kPorts;
+  }
+
+  // Apply: pop from inputs, push to downstream, maintain credits & worms.
+  for (const auto& mv : moves) {
+    Node& n = nodes_[static_cast<std::size_t>(mv.node)];
+    InputPort& p = n.in[mv.in];
+    Flit f = p.buf.front();
+    p.buf.pop_front();
+    // Worm bookkeeping: the input remembers its route, the output stays
+    // locked to this input until the tail passes.
+    p.route = f.tail ? -1 : mv.out;
+    n.out_lock[mv.out] = f.tail ? -1 : mv.in;
+    // Credit back to the upstream output that feeds this input.
+    if (mv.in != kLocal) {
+      const int up = neighbor(mv.node, mv.in);
+      if (up >= 0)
+        ++nodes_[static_cast<std::size_t>(up)].credits[opposite(mv.in)];
+    }
+    if (mv.out == kLocal) {
+      ++delivered_flits_;
+      if (f.tail) {
+        ++delivered_;
+        // +2: router+link pipeline of the final ejection stage, matching
+        // the flow model's ejection accounting.
+        latency_.sample(static_cast<double>(now_ - f.injected + 2));
+      }
+    } else {
+      --n.credits[mv.out];
+      const int nb = neighbor(mv.node, mv.out);
+      assert(nb >= 0 && "routed off-mesh");
+      f.ready = now_ + 2;  // router + link pipeline
+      nodes_[static_cast<std::size_t>(nb)].in[opposite(mv.out)].buf.push_back(
+          f);
+    }
+  }
+  ++now_;
+}
+
+}  // namespace atacsim::cyclenet

@@ -1,0 +1,180 @@
+#include "harness/cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "power/energy_model.hpp"
+
+namespace atacsim::harness {
+namespace fs = std::filesystem;
+
+std::string cache_dir() {
+  if (const char* e = std::getenv("ATACSIM_CACHE")) return e;
+  return "bench_cache";
+}
+
+std::string scenario_key(const Scenario& s) {
+  const auto& m = s.mp;
+  std::ostringstream k;
+  k << s.app << "_n" << m.num_cores << "_" << to_string(m.network) << "_rt";
+  switch (m.routing) {
+    case RoutingPolicy::kCluster: k << "C"; break;
+    case RoutingPolicy::kDistance: k << "D" << m.r_thres; break;
+    case RoutingPolicy::kDistanceAll: k << "A"; break;
+  }
+  k << "_" << to_string(m.receive_net) << "_f" << m.flit_bits << "_"
+    << to_string(m.coherence) << m.num_hw_sharers << "_t" << m.onet_link_delay
+    << "." << m.onet_select_data_lag << "." << m.starnets_per_cluster << "_s"
+    << s.scale << "_x" << s.seed;
+  std::string key = k.str();
+  for (auto& c : key)
+    if (c == ' ' || c == '/' || c == '+') c = (c == '+') ? 'P' : '-';
+  return key;
+}
+
+namespace {
+
+void store(std::ostream& os, const Outcome& o) {
+  const auto& r = o.run;
+  const auto& n = r.net;
+  const auto& m = r.mem;
+  std::map<std::string, double> kv = {
+      {"finished", o.finished ? 1.0 : 0.0},
+      {"wall_seconds", o.wall_seconds},
+      {"swmr_utilization", o.swmr_utilization},
+      {"onet_unicasts", static_cast<double>(o.onet_unicasts)},
+      {"onet_bcasts", static_cast<double>(o.onet_bcasts)},
+      {"completion_cycles", static_cast<double>(r.completion_cycles)},
+      {"total_instructions", static_cast<double>(r.total_instructions)},
+      {"avg_ipc", r.avg_ipc},
+      {"busy_cycles", static_cast<double>(r.core.busy_cycles)},
+      {"enet_router_flits", static_cast<double>(n.enet_router_flits)},
+      {"enet_link_flits", static_cast<double>(n.enet_link_flits)},
+      {"recvnet_link_flits", static_cast<double>(n.recvnet_link_flits)},
+      {"hub_flits", static_cast<double>(n.hub_flits)},
+      {"onet_flits_sent", static_cast<double>(n.onet_flits_sent)},
+      {"onet_flit_receptions", static_cast<double>(n.onet_flit_receptions)},
+      {"onet_selects", static_cast<double>(n.onet_selects)},
+      {"laser_unicast_cycles", static_cast<double>(n.laser_unicast_cycles)},
+      {"laser_bcast_cycles", static_cast<double>(n.laser_bcast_cycles)},
+      {"unicast_packets", static_cast<double>(n.unicast_packets)},
+      {"bcast_packets", static_cast<double>(n.bcast_packets)},
+      {"flits_injected", static_cast<double>(n.flits_injected)},
+      {"recv_unicast_flits", static_cast<double>(n.recv_unicast_flits)},
+      {"recv_bcast_flits", static_cast<double>(n.recv_bcast_flits)},
+      {"l1i_accesses", static_cast<double>(m.l1i_accesses)},
+      {"l1d_reads", static_cast<double>(m.l1d_reads)},
+      {"l1d_writes", static_cast<double>(m.l1d_writes)},
+      {"l2_reads", static_cast<double>(m.l2_reads)},
+      {"l2_writes", static_cast<double>(m.l2_writes)},
+      {"dir_reads", static_cast<double>(m.dir_reads)},
+      {"dir_writes", static_cast<double>(m.dir_writes)},
+      {"dram_reads", static_cast<double>(m.dram_reads)},
+      {"dram_writes", static_cast<double>(m.dram_writes)},
+      {"l1d_misses", static_cast<double>(m.l1d_misses)},
+      {"l2_misses", static_cast<double>(m.l2_misses)},
+      {"invalidations_sent", static_cast<double>(m.invalidations_sent)},
+      {"bcast_invalidations", static_cast<double>(m.bcast_invalidations)},
+  };
+  os << "verify_msg=" << o.verify_msg << '\n';
+  os.precision(17);  // counters are exact integers stored as doubles
+  for (const auto& [key, v] : kv) os << key << '=' << v << '\n';
+}
+
+bool load(std::istream& is, Outcome& o) {
+  std::map<std::string, double> kv;
+  std::string line;
+  bool have_verify = false;
+  while (std::getline(is, line)) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = line.substr(0, eq);
+    const std::string val = line.substr(eq + 1);
+    if (key == "verify_msg") {
+      o.verify_msg = val;
+      have_verify = true;
+    } else {
+      kv[key] = std::strtod(val.c_str(), nullptr);
+    }
+  }
+  if (!have_verify || !kv.count("completion_cycles")) return false;
+  auto g = [&](const char* k) { return kv.count(k) ? kv[k] : 0.0; };
+  auto gu = [&](const char* k) { return static_cast<std::uint64_t>(g(k)); };
+  o.finished = g("finished") > 0.5;
+  o.wall_seconds = g("wall_seconds");
+  o.swmr_utilization = g("swmr_utilization");
+  o.onet_unicasts = gu("onet_unicasts");
+  o.onet_bcasts = gu("onet_bcasts");
+  auto& r = o.run;
+  r.finished = o.finished;
+  r.completion_cycles = gu("completion_cycles");
+  r.total_instructions = gu("total_instructions");
+  r.avg_ipc = g("avg_ipc");
+  r.core.instructions = r.total_instructions;
+  r.core.busy_cycles = gu("busy_cycles");
+  auto& n = r.net;
+  n.enet_router_flits = gu("enet_router_flits");
+  n.enet_link_flits = gu("enet_link_flits");
+  n.recvnet_link_flits = gu("recvnet_link_flits");
+  n.hub_flits = gu("hub_flits");
+  n.onet_flits_sent = gu("onet_flits_sent");
+  n.onet_flit_receptions = gu("onet_flit_receptions");
+  n.onet_selects = gu("onet_selects");
+  n.laser_unicast_cycles = gu("laser_unicast_cycles");
+  n.laser_bcast_cycles = gu("laser_bcast_cycles");
+  n.unicast_packets = gu("unicast_packets");
+  n.bcast_packets = gu("bcast_packets");
+  n.flits_injected = gu("flits_injected");
+  n.recv_unicast_flits = gu("recv_unicast_flits");
+  n.recv_bcast_flits = gu("recv_bcast_flits");
+  auto& m = r.mem;
+  m.l1i_accesses = gu("l1i_accesses");
+  m.l1d_reads = gu("l1d_reads");
+  m.l1d_writes = gu("l1d_writes");
+  m.l2_reads = gu("l2_reads");
+  m.l2_writes = gu("l2_writes");
+  m.dir_reads = gu("dir_reads");
+  m.dir_writes = gu("dir_writes");
+  m.dram_reads = gu("dram_reads");
+  m.dram_writes = gu("dram_writes");
+  m.l1d_misses = gu("l1d_misses");
+  m.l2_misses = gu("l2_misses");
+  m.invalidations_sent = gu("invalidations_sent");
+  m.bcast_invalidations = gu("bcast_invalidations");
+  return true;
+}
+
+}  // namespace
+
+Outcome run_scenario_cached(const Scenario& s, bool allow_failure) {
+  const fs::path dir = cache_dir();
+  const fs::path file = dir / (scenario_key(s) + ".txt");
+
+  Outcome o;
+  o.app = s.app;
+  o.config = config_name(s.mp);
+  bool loaded = false;
+  if (fs::exists(file)) {
+    std::ifstream is(file);
+    loaded = load(is, o);
+  }
+  if (!loaded) {
+    o = run_scenario(s, allow_failure);
+    fs::create_directories(dir);
+    std::ofstream os(file);
+    store(os, o);
+  } else {
+    // Recompute energy for the (possibly different) photonic flavour.
+    const power::EnergyModel em(s.mp);
+    o.energy = em.compute(o.run.net, o.run.mem, o.run.core,
+                          static_cast<double>(o.run.completion_cycles));
+    if (!allow_failure && !o.verify_msg.empty())
+      throw std::runtime_error(s.app + ": " + o.verify_msg);
+  }
+  return o;
+}
+
+}  // namespace atacsim::harness

@@ -1,0 +1,26 @@
+// On-disk scenario-result cache for the bench binaries.
+//
+// A full 1024-core application run costs seconds to minutes of host time;
+// many figures consume the same runs (and the photonic technology flavours
+// of Table IV change only the energy model, not the simulation). The cache
+// keys on everything that affects the *simulation* and stores the raw
+// activity counters; energy is always recomputed by the consumer.
+//
+// Location: $ATACSIM_CACHE if set, else ./bench_cache. Delete the directory
+// to force fresh runs.
+#pragma once
+
+#include "harness/runner.hpp"
+
+namespace atacsim::harness {
+
+/// Cache key: every simulation-relevant field of the scenario.
+std::string scenario_key(const Scenario& s);
+
+/// Like run_scenario(), but consults/updates the on-disk cache.
+Outcome run_scenario_cached(const Scenario& s, bool allow_failure = false);
+
+/// Cache directory in use.
+std::string cache_dir();
+
+}  // namespace atacsim::harness

@@ -1,0 +1,95 @@
+#include "harness/runner.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace atacsim::harness {
+
+double Outcome::seconds() const {
+  return static_cast<double>(run.completion_cycles) * 1e-9;  // 1 GHz
+}
+
+double Outcome::offered_load_flits_per_cycle_per_core(int num_cores) const {
+  if (run.completion_cycles == 0) return 0;
+  return static_cast<double>(run.net.flits_injected) /
+         (static_cast<double>(run.completion_cycles) * num_cores);
+}
+
+double Outcome::bcast_recv_fraction() const {
+  const double b = static_cast<double>(run.net.recv_bcast_flits);
+  const double u = static_cast<double>(run.net.recv_unicast_flits);
+  return (b + u) > 0 ? b / (b + u) : 0.0;
+}
+
+MachineParams atac_plus(PhotonicFlavor f) {
+  auto mp = MachineParams::paper();
+  mp.network = NetworkKind::kAtacPlus;
+  mp.photonics = f;
+  return mp;
+}
+
+MachineParams emesh_bcast() {
+  auto mp = MachineParams::paper();
+  mp.network = NetworkKind::kEMeshBCast;
+  return mp;
+}
+
+MachineParams emesh_pure() {
+  auto mp = MachineParams::paper();
+  mp.network = NetworkKind::kEMeshPure;
+  return mp;
+}
+
+std::string config_name(const MachineParams& mp) {
+  if (mp.network != NetworkKind::kAtacPlus) return to_string(mp.network);
+  return to_string(mp.photonics);
+}
+
+power::EnergyBreakdown recompute_energy(const Outcome& o,
+                                        const MachineParams& mp,
+                                        const TechBundle& tb) {
+  const power::EnergyModel em(mp, tb);
+  return em.compute(o.run.net, o.run.mem, o.run.core,
+                    static_cast<double>(o.run.completion_cycles));
+}
+
+Outcome run_scenario(const Scenario& s, bool allow_failure) {
+  apps::AppConfig cfg;
+  cfg.num_cores = s.mp.num_cores;
+  cfg.scale = s.scale;
+  cfg.seed = s.seed;
+  auto app = apps::make_app(s.app, cfg);
+
+  core::Program prog(s.mp);
+  prog.spawn_all(app->body());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  Outcome out;
+  out.app = s.app;
+  out.config = config_name(s.mp);
+  out.run = prog.run(s.max_cycles);
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  out.finished = out.run.finished;
+  out.verify_msg = out.finished ? app->verify() : "did not complete";
+
+  if (auto* atac = prog.machine().atac()) {
+    out.swmr_utilization =
+        atac->link_utilization(out.run.completion_cycles);
+    out.onet_unicasts = atac->onet_unicast_packets();
+    out.onet_bcasts = atac->onet_bcast_packets();
+  }
+
+  const power::EnergyModel em(s.mp);
+  out.energy =
+      em.compute(out.run.net, out.run.mem, out.run.core,
+                 static_cast<double>(out.run.completion_cycles));
+
+  if (!allow_failure && !out.verify_msg.empty())
+    throw std::runtime_error(s.app + " on " + out.config + ": " +
+                             out.verify_msg);
+  return out;
+}
+
+}  // namespace atacsim::harness

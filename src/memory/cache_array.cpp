@@ -1,0 +1,89 @@
+#include "memory/cache_array.hpp"
+
+#include <stdexcept>
+
+namespace atacsim::mem {
+
+CacheArray::CacheArray(int size_KB, int assoc, int line_B)
+    : line_B_(line_B), assoc_(assoc) {
+  const long long total_lines =
+      static_cast<long long>(size_KB) * 1024 / line_B;
+  if (total_lines <= 0 || total_lines % assoc != 0)
+    throw std::invalid_argument("cache geometry does not divide");
+  sets_ = static_cast<int>(total_lines / assoc);
+  lines_.resize(static_cast<std::size_t>(sets_) * assoc_);
+}
+
+CacheArray::Line* CacheArray::find(Addr line) {
+  const std::size_t set =
+      static_cast<std::size_t>((line / line_B_) % sets_) * assoc_;
+  for (int w = 0; w < assoc_; ++w) {
+    Line& l = lines_[set + w];
+    if (l.state != LineState::kInvalid && l.tag == line) return &l;
+  }
+  return nullptr;
+}
+
+const CacheArray::Line* CacheArray::find(Addr line) const {
+  return const_cast<CacheArray*>(this)->find(line);
+}
+
+LineState CacheArray::lookup(Addr line) {
+  Line* l = find(line);
+  if (!l) return LineState::kInvalid;
+  l->lru = ++tick_;
+  return l->state;
+}
+
+LineState CacheArray::peek(Addr line) const {
+  const Line* l = find(line);
+  return l ? l->state : LineState::kInvalid;
+}
+
+std::optional<CacheArray::Victim> CacheArray::install(Addr line,
+                                                      LineState state) {
+  if (Line* hit = find(line)) {
+    hit->state = state;
+    hit->lru = ++tick_;
+    return std::nullopt;
+  }
+  const std::size_t set =
+      static_cast<std::size_t>((line / line_B_) % sets_) * assoc_;
+  Line* victim = &lines_[set];
+  for (int w = 0; w < assoc_; ++w) {
+    Line& l = lines_[set + w];
+    if (l.state == LineState::kInvalid) {
+      victim = &l;
+      break;
+    }
+    if (l.lru < victim->lru) victim = &l;
+  }
+  std::optional<Victim> out;
+  if (victim->state != LineState::kInvalid)
+    out = Victim{victim->tag, victim->state};
+  victim->tag = line;
+  victim->state = state;
+  victim->lru = ++tick_;
+  return out;
+}
+
+void CacheArray::set_state(Addr line, LineState s) {
+  if (Line* l = find(line)) l->state = s;
+}
+
+LineState CacheArray::invalidate(Addr line) {
+  Line* l = find(line);
+  if (!l) return LineState::kInvalid;
+  const LineState prev = l->state;
+  l->state = LineState::kInvalid;
+  return prev;
+}
+
+int CacheArray::occupancy() const {
+  int n = 0;
+  for (const auto& l : lines_)
+    if (l.state != LineState::kInvalid) ++n;
+  return n;
+}
+
+}  // namespace atacsim::mem

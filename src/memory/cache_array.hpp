@@ -1,0 +1,65 @@
+// Set-associative tag array with LRU replacement and MSI line states.
+// Purely structural: holds no data (application data lives in host memory);
+// tracks presence, permissions and dirtiness for timing and protocol state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace atacsim::mem {
+
+enum class LineState : std::uint8_t { kInvalid, kShared, kModified };
+
+class CacheArray {
+ public:
+  CacheArray(int size_KB, int assoc, int line_B);
+
+  struct Line {
+    Addr tag = 0;
+    LineState state = LineState::kInvalid;
+    std::uint64_t lru = 0;
+  };
+
+  /// Line-aligned address for `addr`.
+  Addr line_of(Addr addr) const { return addr & ~static_cast<Addr>(line_B_ - 1); }
+
+  /// Looks up `line` (must be line-aligned); bumps LRU on hit.
+  LineState lookup(Addr line);
+  /// Peek without LRU update.
+  LineState peek(Addr line) const;
+
+  /// Installs `line` in `state`; returns the victim (line address + state)
+  /// if a valid line had to be evicted.
+  struct Victim {
+    Addr line;
+    LineState state;
+  };
+  std::optional<Victim> install(Addr line, LineState state);
+
+  /// Changes the state of a present line; no-op if absent.
+  void set_state(Addr line, LineState s);
+  /// Removes a line; returns its previous state.
+  LineState invalidate(Addr line);
+
+  int num_lines() const { return static_cast<int>(lines_.size()); }
+  int num_sets() const { return sets_; }
+  int assoc() const { return assoc_; }
+
+  /// Count of valid lines (testing / occupancy stats).
+  int occupancy() const;
+
+ private:
+  Line* find(Addr line);
+  const Line* find(Addr line) const;
+
+  int line_B_;
+  int sets_;
+  int assoc_;
+  std::uint64_t tick_ = 0;
+  std::vector<Line> lines_;  // sets_ x assoc_
+};
+
+}  // namespace atacsim::mem

@@ -1,0 +1,389 @@
+#include "memory/cache_controller.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace {
+atacsim::Addr dbg_line() {
+  static const atacsim::Addr v = [] {
+    const char* e = std::getenv("ATACSIM_TRACE_LINE");
+    return e ? std::strtoull(e, nullptr, 16) : 0ull;
+  }();
+  return v;
+}
+}  // namespace
+
+namespace atacsim::mem {
+
+const char* to_string(CohType t) {
+  switch (t) {
+    case CohType::kShReq: return "ShReq";
+    case CohType::kExReq: return "ExReq";
+    case CohType::kEvictNotify: return "EvictNotify";
+    case CohType::kDirtyWb: return "DirtyWb";
+    case CohType::kInvReq: return "InvReq";
+    case CohType::kFlushReq: return "FlushReq";
+    case CohType::kWbReq: return "WbReq";
+    case CohType::kShRep: return "ShRep";
+    case CohType::kExRep: return "ExRep";
+    case CohType::kInvAck: return "InvAck";
+    case CohType::kFlushAck: return "FlushAck";
+    case CohType::kWbAck: return "WbAck";
+    case CohType::kDramReq: return "DramReq";
+    case CohType::kDramRep: return "DramRep";
+  }
+  return "?";
+}
+
+CacheController::CacheController(CoreId self, MemEnv env, const HomeMap* homes)
+    : self_(self),
+      env_(std::move(env)),
+      homes_(homes),
+      l1d_(env_.params->l1d_size_KB, env_.params->l1_assoc,
+           env_.params->line_size_B),
+      l2_(env_.params->l2_size_KB, env_.params->l2_assoc,
+          env_.params->line_size_B),
+      last_bcast_seq_(static_cast<std::size_t>(homes->num_slices()), 0),
+      deferred_unicasts_(static_cast<std::size_t>(homes->num_slices())) {}
+
+Cycle CacheController::send(const CohMsg& m) {
+  const Cycle t = std::max(env_.now(), send_free_);
+  send_free_ = env_.send(t, m);
+  return t;
+}
+
+bool CacheController::fast_access(Addr addr, bool write) {
+  const Addr line = l2_.line_of(addr);
+  const LineState l1 = l1d_.peek(line);
+  if (l1 == LineState::kInvalid) return false;
+  const LineState l2 = l2_.peek(line);
+  const bool l2_ok = write ? (l2 == LineState::kModified)
+                           : (l2 != LineState::kInvalid);
+  if (!l2_ok) return false;
+  auto& ctr = *env_.counters;
+  write ? ++ctr.l1d_writes : ++ctr.l1d_reads;
+  if (write) ++ctr.l2_writes;  // write-through
+  l1d_.lookup(line);           // LRU bump
+  return true;
+}
+
+void CacheController::access(Addr addr, bool write, DoneFn done) {
+  const Addr line = l2_.line_of(addr);
+  const Cycle now = env_.now();
+  auto& ctr = *env_.counters;
+
+  // L1-D probe (energy + fast path).
+  write ? ++ctr.l1d_writes : ++ctr.l1d_reads;
+  const LineState l1 = l1d_.lookup(line);
+  const LineState l2 = l2_.peek(line);
+  const bool l2_ok = write ? (l2 == LineState::kModified)
+                           : (l2 != LineState::kInvalid);
+  if (l1 != LineState::kInvalid && l2_ok) {
+    // Stores write through to the L2 (energy only).
+    if (write) ++ctr.l2_writes;
+    env_.schedule(now + env_.params->l1_hit_cycles,
+                  [done, t = now + env_.params->l1_hit_cycles] { done(t); });
+    return;
+  }
+
+  ++ctr.l1d_misses;
+  write ? ++ctr.l2_writes : ++ctr.l2_reads;
+  if (l2_ok) {
+    // L2 hit: refill L1 (subset; silent L1 replacement is fine).
+    l1d_.install(line, l2);
+    const Cycle t = now + env_.params->l2_hit_cycles;
+    env_.schedule(t, [done, t] { done(t); });
+    return;
+  }
+
+  // Miss: coalesce into an existing MSHR or allocate one.
+  ++ctr.l2_misses;
+  auto it = mshr_.find(line);
+  if (it != mshr_.end()) {
+    it->second.waiters.push_back({write, std::move(done)});
+    // An in-flight ShReq cannot satisfy a store; the retry in fill() will
+    // issue the upgrade once the shared copy lands.
+    return;
+  }
+  Mshr& e = mshr_[line];
+  e.want_exclusive = write || (l2 == LineState::kShared);
+  e.waiters.push_back({write, std::move(done)});
+  issue_request(line, e.want_exclusive);
+}
+
+void CacheController::issue_request(Addr line, bool exclusive) {
+  CohMsg m;
+  m.type = exclusive ? CohType::kExReq : CohType::kShReq;
+  m.line = line;
+  m.src = self_;
+  const HubId slice = homes_->slice_of(line);
+  m.dst = homes_->slice_core(slice);
+  m.requester = self_;
+  m.dir_slice = slice;
+  send(m);
+}
+
+void CacheController::wait_for_change(Addr addr, DoneFn cb) {
+  const Addr line = l2_.line_of(addr);
+  if (l2_.peek(line) == LineState::kInvalid) {
+    const Cycle t = env_.now() + 1;
+    env_.schedule(t, [cb = std::move(cb), t] { cb(t); });
+    return;
+  }
+  change_waiters_[line].push_back(std::move(cb));
+}
+
+void CacheController::notify_change(Addr line) {
+  auto it = change_waiters_.find(line);
+  if (it == change_waiters_.end()) return;
+  auto waiters = std::move(it->second);
+  change_waiters_.erase(it);
+  const Cycle t = env_.now() + 1;
+  for (auto& cb : waiters)
+    env_.schedule(t, [cb = std::move(cb), t] { cb(t); });
+}
+
+void CacheController::evict(Addr line, LineState state) {
+  l1d_.invalidate(line);
+  notify_change(line);
+  const HubId slice = homes_->slice_of(line);
+  CohMsg m;
+  m.line = line;
+  m.src = self_;
+  m.dst = homes_->slice_core(slice);
+  m.dir_slice = slice;
+  if (state == LineState::kModified) {
+    m.type = CohType::kDirtyWb;
+    m.carries_data = true;
+    send(m);
+  } else if (env_.params->coherence == CoherenceKind::kAckwise) {
+    // ACKwise cannot support silent evictions (paper Sec. V-F).
+    m.type = CohType::kEvictNotify;
+    send(m);
+  }
+  // Dir_kB: silent eviction of clean lines.
+}
+
+void CacheController::fill(const CohMsg& rep) {
+  const Addr line = rep.line;
+  if (dbg_line() && line == dbg_line())
+    std::fprintf(stderr, "[%llu] core%d fill type=%d seq=%u buffered=%zu\n",
+                 (unsigned long long)env_.now(), self_, (int)rep.type, rep.seq,
+                 mshr_.count(line) ? mshr_.at(line).buffered_bcast_invs.size() : 0ul);
+  const LineState st = (rep.type == CohType::kExRep) ? LineState::kModified
+                                                     : LineState::kShared;
+  auto node = mshr_.extract(line);
+  assert(!node.empty() && "fill without MSHR entry");
+  Mshr entry = std::move(node.mapped());
+
+  if (auto victim = l2_.install(line, st)) evict(victim->line, victim->state);
+  l1d_.install(line, st);
+  ++env_.counters->l2_writes;  // line fill
+
+  const Cycle t = env_.now() + env_.params->l2_hit_cycles;
+  std::vector<Waiter> retry;
+  for (auto& w : entry.waiters) {
+    if (w.write && st != LineState::kModified) {
+      retry.push_back(std::move(w));
+    } else {
+      env_.schedule(t, [done = std::move(w.done), t] { done(t); });
+    }
+  }
+
+  // Buffered broadcast invalidates that were sent *after* this reply must be
+  // processed one cycle later; older ones are stale and dropped
+  // (paper Sec. IV-C-1).
+  for (const BufferedInv& b : entry.buffered_bcast_invs) {
+    if (seq_before(rep.seq, b.msg.seq)) {
+      process_inv(b.msg, /*extra_delay=*/1, /*suppress_ack=*/b.already_acked);
+    } else {
+      // Stale: it targeted the previous epoch of this line. Still counts as
+      // processed for slice ordering.
+      bump_seq_and_release(b.msg.dir_slice, b.msg.seq);
+    }
+  }
+
+  if (!retry.empty()) {
+    // Upgrade path: the shared copy just landed but stores still need M.
+    Mshr& e = mshr_[line];
+    e.want_exclusive = true;
+    e.waiters = std::move(retry);
+    issue_request(line, /*exclusive=*/true);
+  }
+}
+
+void CacheController::process_inv(const CohMsg& m, Cycle extra_delay,
+                                  bool suppress_ack) {
+  const Addr line = m.line;
+  const LineState prev = l2_.peek(line);
+  if (dbg_line() && line == dbg_line())
+    std::fprintf(stderr, "[%llu] core%d process_inv prev=%d bcast=%d extra=%llu sup=%d\n",
+                 (unsigned long long)env_.now(), self_, (int)prev,
+                 (int)m.is_broadcast(), (unsigned long long)extra_delay,
+                 (int)suppress_ack);
+  const bool present = prev != LineState::kInvalid;
+
+  if (present) {
+    l2_.invalidate(line);
+    l1d_.invalidate(line);
+    notify_change(line);
+  }
+
+  // Ack rules: a sharer acks (piggy-backing the clean line); under Dir_kB
+  // every invalidation — unicast or broadcast — must be acknowledged whether
+  // or not the line is present, because silent evictions leave the pointer
+  // list stale. A core whose own ExReq triggered this invalidation round
+  // still acks if it held the line (it is part of the sharer count).
+  const bool dirkb = env_.params->coherence == CoherenceKind::kDirKB;
+  const bool must_ack = (present || dirkb) && !suppress_ack;
+  if (must_ack) {
+    CohMsg ack;
+    ack.type = CohType::kInvAck;
+    ack.line = line;
+    ack.src = self_;
+    ack.dst = m.src;
+    ack.requester = m.requester;
+    ack.dir_slice = m.dir_slice;
+    // Acks stay short coherence messages: the home supplies clean data from
+    // its buffer or DRAM (Sec. IV-C-1's "fetched explicitly" option).
+    ack.carries_data = false;
+    if (extra_delay == 0) {
+      send(ack);
+    } else {
+      env_.schedule(env_.now() + extra_delay, [this, ack] { send(ack); });
+    }
+  }
+
+  if (m.is_broadcast()) bump_seq_and_release(m.dir_slice, m.seq);
+}
+
+void CacheController::bump_seq_and_release(HubId slice, std::uint16_t seq) {
+  auto& last = last_bcast_seq_[static_cast<std::size_t>(slice)];
+  if (seq_before(last, seq)) last = seq;
+  auto& deferred = deferred_unicasts_[static_cast<std::size_t>(slice)];
+  std::vector<CohMsg> ready;
+  for (auto it = deferred.begin(); it != deferred.end();) {
+    if (seq_before_eq(it->seq, last)) {
+      ready.push_back(*it);
+      it = deferred.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& m : ready) process_unicast_from_dir(m);
+}
+
+void CacheController::handle_flush(const CohMsg& m) {
+  const LineState prev = l2_.invalidate(m.line);
+  l1d_.invalidate(m.line);
+  if (prev != LineState::kInvalid) notify_change(m.line);
+  CohMsg ack;
+  ack.type = CohType::kFlushAck;
+  ack.line = m.line;
+  ack.src = self_;
+  ack.dst = m.src;
+  ack.requester = m.requester;
+  ack.dir_slice = m.dir_slice;
+  ack.carries_data = (prev == LineState::kModified);
+  send(ack);
+}
+
+void CacheController::handle_wb(const CohMsg& m) {
+  const LineState prev = l2_.peek(m.line);
+  if (prev == LineState::kModified) {
+    l2_.set_state(m.line, LineState::kShared);
+    l1d_.set_state(m.line, LineState::kShared);
+  }
+  CohMsg ack;
+  ack.type = CohType::kWbAck;
+  ack.line = m.line;
+  ack.src = self_;
+  ack.dst = m.src;
+  ack.requester = m.requester;
+  ack.dir_slice = m.dir_slice;
+  ack.carries_data = (prev == LineState::kModified);
+  send(ack);
+}
+
+void CacheController::process_unicast_from_dir(const CohMsg& m) {
+  switch (m.type) {
+    case CohType::kInvReq:
+      process_inv(m);
+      break;
+    case CohType::kFlushReq:
+      handle_flush(m);
+      break;
+    case CohType::kWbReq:
+      handle_wb(m);
+      break;
+    case CohType::kShRep:
+    case CohType::kExRep:
+      fill(m);
+      break;
+    default:
+      assert(false && "unexpected unicast type at cache");
+  }
+}
+
+void CacheController::handle(const CohMsg& m) {
+  if (dbg_line() && m.line == dbg_line())
+    std::fprintf(stderr, "[%llu] core%d handle %s mshr=%d wantex=%d\n",
+                 (unsigned long long)env_.now(), self_, to_string(m.type),
+                 (int)mshr_.count(m.line),
+                 mshr_.count(m.line) ? (int)mshr_.at(m.line).want_exclusive : -1);
+  if (m.type == CohType::kInvReq && m.is_broadcast()) {
+    // Early-broadcast buffering: with an outstanding ShReq for this line the
+    // broadcast may have overtaken our shared response (Sec. IV-C-1).
+    auto it = mshr_.find(m.line);
+    if (it != mshr_.end() && !it->second.want_exclusive) {
+      // Under Dir_kB the directory is counting acks from *every* core —
+      // including us, whose ShRep it cannot send until the count drains.
+      // Ack now (the line is absent; nothing to invalidate yet) and only
+      // defer the invalidation-ordering side of the message.
+      bool acked = false;
+      if (env_.params->coherence == CoherenceKind::kDirKB) {
+        CohMsg ack;
+        ack.type = CohType::kInvAck;
+        ack.line = m.line;
+        ack.src = self_;
+        ack.dst = m.src;
+        ack.requester = m.requester;
+        ack.dir_slice = m.dir_slice;
+        send(ack);
+        acked = true;
+      }
+      it->second.buffered_bcast_invs.push_back({m, acked});
+      // Release the slice-level ordering now: deferred unicasts for *other*
+      // lines must not wait on a broadcast that is itself parked behind our
+      // fill (circular wait across cores). Same-line ordering is restored by
+      // the sequence comparison in fill().
+      bump_seq_and_release(m.dir_slice, m.seq);
+      return;
+    }
+    process_inv(m);
+    return;
+  }
+
+  // Every directory-initiated unicast — requests AND responses — must not
+  // overtake an earlier broadcast from the same slice (Sec. IV-C-1): defer
+  // until our slice sequence number catches up. A stale broadcast processed
+  // after a later response would otherwise silently destroy the line the
+  // response just granted. No deadlock: an arriving broadcast always either
+  // processes or is MSHR-buffered, and both paths advance the slice
+  // sequence immediately, so deferred unicasts never wait on a parked
+  // broadcast.
+  const bool from_dir =
+      m.type == CohType::kInvReq || m.type == CohType::kFlushReq ||
+      m.type == CohType::kWbReq || m.type == CohType::kShRep ||
+      m.type == CohType::kExRep;
+  if (from_dir && m.dir_slice >= 0 &&
+      seq_before(last_bcast_seq_[static_cast<std::size_t>(m.dir_slice)],
+                 m.seq)) {
+    deferred_unicasts_[static_cast<std::size_t>(m.dir_slice)].push_back(m);
+    return;
+  }
+  process_unicast_from_dir(m);
+}
+
+}  // namespace atacsim::mem

@@ -1,0 +1,130 @@
+// Per-core cache controller: L1-D timing filter + private L2 with MSHRs,
+// the cache side of the ACKwise_k / Dir_kB directory protocol, and the
+// sequence-number reordering buffers of paper Sec. IV-C-1.
+//
+// The L1-D is modelled as a write-through subset of the L2: it adds the
+// single-cycle hit path and its own access energy; all coherence state lives
+// at L2 granularity. Application data itself lives in host memory — the
+// controller tracks presence/permission/timing only.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "memory/cache_array.hpp"
+#include "memory/protocol.hpp"
+
+namespace atacsim::mem {
+
+/// Maps a line address to its home directory slice / slice core.
+class HomeMap {
+ public:
+  HomeMap(const MachineParams& mp, std::vector<CoreId> slice_cores)
+      : line_B_(mp.line_size_B), slice_cores_(std::move(slice_cores)) {}
+  HubId slice_of(Addr line) const {
+    return static_cast<HubId>((line / line_B_) % slice_cores_.size());
+  }
+  CoreId slice_core(HubId s) const {
+    return slice_cores_[static_cast<std::size_t>(s)];
+  }
+  int num_slices() const { return static_cast<int>(slice_cores_.size()); }
+
+ private:
+  int line_B_;
+  std::vector<CoreId> slice_cores_;
+};
+
+class CacheController {
+ public:
+  using DoneFn = std::function<void(Cycle)>;
+
+  CacheController(CoreId self, MemEnv env, const HomeMap* homes);
+
+  /// Core-side entry: performs a timed load/store of the line containing
+  /// `addr`; `done` fires (via the event queue) when the access commits.
+  void access(Addr addr, bool write, DoneFn done);
+
+  /// Synchronous L1 fast path: on a hit, charges the access and returns
+  /// true (the caller advances its local clock by the L1 hit latency and
+  /// continues without suspending). On a miss nothing is charged — the
+  /// caller must fall back to access().
+  bool fast_access(Addr addr, bool write);
+
+  /// Resumes `cb` when the line holding `addr` is next invalidated, demoted
+  /// or evicted at this core — the invalidation-wakeup primitive the sync
+  /// library builds spin-wait on. Fires immediately if the line is absent.
+  void wait_for_change(Addr addr, DoneFn cb);
+
+  /// Network-side entry: a coherence message addressed to this cache.
+  void handle(const CohMsg& m);
+
+  CoreId self() const { return self_; }
+  const CacheArray& l2() const { return l2_; }
+
+  /// Number of in-flight misses (testing / liveness checks).
+  std::size_t outstanding_misses() const { return mshr_.size(); }
+
+  /// Diagnostics: lines with outstanding misses / deferred unicasts.
+  struct CacheDebug {
+    std::vector<Addr> mshr_lines;
+    std::vector<std::pair<HubId, std::size_t>> deferred;  // slice -> count
+    std::vector<std::uint16_t> last_seq;
+  };
+  CacheDebug debug_state() const {
+    CacheDebug d;
+    for (const auto& [line, e] : mshr_) {
+      (void)e;
+      d.mshr_lines.push_back(line);
+    }
+    for (std::size_t s = 0; s < deferred_unicasts_.size(); ++s)
+      if (!deferred_unicasts_[s].empty())
+        d.deferred.emplace_back(static_cast<HubId>(s),
+                                deferred_unicasts_[s].size());
+    d.last_seq = last_bcast_seq_;
+    return d;
+  }
+
+ private:
+  struct Waiter {
+    bool write;
+    DoneFn done;
+  };
+  struct BufferedInv {
+    CohMsg msg;
+    bool already_acked = false;  ///< Dir_kB acks at buffer time (see handle())
+  };
+  struct Mshr {
+    bool want_exclusive = false;
+    std::vector<Waiter> waiters;
+    std::vector<BufferedInv> buffered_bcast_invs;  // early broadcast invs
+  };
+
+  void issue_request(Addr line, bool exclusive);
+  void fill(const CohMsg& rep);
+  void evict(Addr line, LineState state);
+  void process_inv(const CohMsg& m, Cycle extra_delay = 0,
+                   bool suppress_ack = false);
+  void process_unicast_from_dir(const CohMsg& m);
+  void handle_flush(const CohMsg& m);
+  void handle_wb(const CohMsg& m);
+  void notify_change(Addr line);
+  Cycle send(const CohMsg& m);
+  void bump_seq_and_release(HubId slice, std::uint16_t seq);
+
+  CoreId self_;
+  MemEnv env_;
+  const HomeMap* homes_;
+  CacheArray l1d_;
+  CacheArray l2_;
+  std::unordered_map<Addr, Mshr> mshr_;
+  std::unordered_map<Addr, std::vector<DoneFn>> change_waiters_;
+  std::vector<std::uint16_t> last_bcast_seq_;           // per slice
+  std::vector<std::vector<CohMsg>> deferred_unicasts_;  // per slice
+  Cycle send_free_ = 0;
+};
+
+}  // namespace atacsim::mem

@@ -1,0 +1,350 @@
+#include "memory/directory.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace atacsim::mem {
+namespace {
+// Directory tag/state access latency per handled message.
+constexpr Cycle kDirAccessCycles = 2;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SharerSet
+// ---------------------------------------------------------------------------
+
+void SharerSet::add(CoreId c) {
+  if (global_) {
+    ++count_;
+    return;
+  }
+  if (std::find(ptrs_.begin(), ptrs_.end(), c) != ptrs_.end()) return;
+  if (static_cast<int>(ptrs_.size()) < k_) {
+    ptrs_.push_back(c);
+    return;
+  }
+  // Overflow: set the global bit and replace the list with an exact count
+  // (paper Sec. III-B).
+  global_ = true;
+  count_ = static_cast<int>(ptrs_.size()) + 1;
+  ptrs_.clear();
+}
+
+bool SharerSet::remove(CoreId c) {
+  if (global_) {
+    if (count_ == 0) return false;
+    --count_;
+    return true;
+  }
+  auto it = std::find(ptrs_.begin(), ptrs_.end(), c);
+  if (it == ptrs_.end()) return false;
+  ptrs_.erase(it);
+  return true;
+}
+
+bool SharerSet::contains(CoreId c) const {
+  return !global_ &&
+         std::find(ptrs_.begin(), ptrs_.end(), c) != ptrs_.end();
+}
+
+void SharerSet::clear() {
+  global_ = false;
+  count_ = 0;
+  ptrs_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// MemController
+// ---------------------------------------------------------------------------
+
+MemController::MemController(MemEnv* env) : env_(env) {
+  const auto& p = *env_->params;
+  // 5 GB/s at 1 GHz = 5 B/cycle; a 64 B line serializes for ~13 cycles.
+  const double bytes_per_cycle = p.mem_bw_GBps_per_ctrl / p.freq_GHz;
+  line_cycles_ = static_cast<Cycle>(p.line_size_B / bytes_per_cycle + 0.5);
+  if (line_cycles_ == 0) line_cycles_ = 1;
+}
+
+void MemController::request(bool write, std::function<void(Cycle)> done) {
+  auto& ctr = *env_->counters;
+  write ? ++ctr.dram_writes : ++ctr.dram_reads;
+  const Cycle start = bw_.acquire(env_->now(), line_cycles_);
+  const Cycle ready = start + line_cycles_ + env_->params->mem_latency_cycles;
+  env_->schedule(ready, [done = std::move(done), ready] { done(ready); });
+}
+
+// ---------------------------------------------------------------------------
+// DirectorySlice
+// ---------------------------------------------------------------------------
+
+DirectorySlice::DirectorySlice(HubId slice, CoreId self_core, MemEnv env)
+    : slice_(slice), self_(self_core), env_(std::move(env)), dram_(&env_) {}
+
+DirectorySlice::LineInfo& DirectorySlice::info(Addr line) {
+  auto it = dir_.find(line);
+  if (it == dir_.end())
+    it = dir_.emplace(line, LineInfo(env_.params->num_hw_sharers)).first;
+  return it->second;
+}
+
+CohMsg DirectorySlice::make(CohType t, Addr line, CoreId dst,
+                            CoreId requester) const {
+  CohMsg m;
+  m.type = t;
+  m.line = line;
+  m.src = self_;
+  m.dst = dst;
+  m.requester = requester;
+  m.seq = seq_;
+  m.dir_slice = slice_;
+  return m;
+}
+
+Cycle DirectorySlice::send(const CohMsg& m) {
+  const Cycle t = std::max(env_.now() + kDirAccessCycles, send_free_);
+  send_free_ = env_.send(t, m);
+  return t;
+}
+
+void DirectorySlice::fetch_dram(Addr line) {
+  Txn& txn = active_.at(line);
+  txn.dram_pending = true;
+  dram_.request(/*write=*/false, [this, line](Cycle) {
+    auto it = active_.find(line);
+    if (it == active_.end()) return;
+    it->second.dram_pending = false;
+    it->second.have_data = true;
+    maybe_complete(line);
+  });
+}
+
+void DirectorySlice::start_txn(const CohMsg& req) {
+  ++env_.counters->dir_reads;
+  LineInfo& li = info(req.line);
+  Txn& txn = active_[req.line];
+  txn.req = req;
+  txn.need_data = true;
+
+  if (li.state == LineState::kModified) {
+    if (li.owner == req.requester) {
+      // The owner lost the line to an eviction whose DirtyWb is still in
+      // flight (it can reorder behind the re-request across networks).
+      // Wait for the data to land; no flush needed.
+      li.owner = kInvalidCore;
+      li.state = LineState::kInvalid;
+      txn.expect_dirty_wb = true;
+      maybe_complete(req.line);
+      return;
+    }
+    txn.waiting_owner = true;
+    const bool demote = (req.type == CohType::kShReq);
+    send(make(demote ? CohType::kWbReq : CohType::kFlushReq, req.line,
+              li.owner, req.requester));
+    return;
+  }
+
+  if (req.type == CohType::kShReq || li.sharers.empty()) {
+    // Shared request, or exclusive with no cached copies: data from the
+    // home's clean-data buffer when valid, else from DRAM.
+    if (li.data_valid) {
+      txn.have_data = true;
+      maybe_complete(req.line);
+    } else {
+      fetch_dram(req.line);
+    }
+    return;
+  }
+
+  // Exclusive request against shared copies: invalidate them. The sharers'
+  // copies are clean, so the home's data buffer (or DRAM) supplies the line
+  // ("fetched explicitly from main memory", Sec. IV-C-1); acknowledgements
+  // stay short coherence messages.
+  if (li.data_valid) txn.have_data = true;
+  const bool ackwise = env_.params->coherence == CoherenceKind::kAckwise;
+  if (li.sharers.global()) {
+    ++seq_;
+    ++env_.counters->bcast_invalidations;
+    CohMsg inv = make(CohType::kInvReq, req.line, kBroadcastCore,
+                      req.requester);
+    inv.seq = seq_;
+    txn.pending_acks =
+        ackwise ? li.sharers.count() : env_.params->num_cores;
+    send(inv);
+  } else {
+    txn.pending_acks = static_cast<int>(li.sharers.pointers().size());
+    for (CoreId s : li.sharers.pointers()) {
+      ++env_.counters->invalidations_sent;
+      send(make(CohType::kInvReq, req.line, s, req.requester));
+    }
+  }
+  if (txn.pending_acks == 0) maybe_complete(req.line);
+}
+
+void DirectorySlice::maybe_complete(Addr line) {
+  Txn& txn = active_.at(line);
+  if (txn.waiting_owner || txn.pending_acks > 0) return;
+  if (txn.need_data && !txn.have_data) {
+    // No acknowledgement carried the line. If a DirtyWb is known to be in
+    // flight it will set have_data when it lands; otherwise the copies were
+    // all clean (or never existed) and DRAM has the truth.
+    if (!txn.dram_pending && !txn.expect_dirty_wb) fetch_dram(line);
+    return;
+  }
+  complete(line);
+}
+
+void DirectorySlice::complete(Addr line) {
+  Txn txn = std::move(active_.at(line));
+  active_.erase(line);
+  ++env_.counters->dir_writes;
+  LineInfo& li = info(line);
+
+  CohMsg rep = make(txn.req.type == CohType::kShReq ? CohType::kShRep
+                                                    : CohType::kExRep,
+                    line, txn.req.requester, txn.req.requester);
+  rep.carries_data = true;
+  if (txn.req.type == CohType::kShReq) {
+    li.state = LineState::kShared;
+    li.owner = kInvalidCore;
+    li.sharers.add(txn.req.requester);
+    li.data_valid = true;
+  } else {
+    li.sharers.clear();
+    li.state = LineState::kModified;
+    li.owner = txn.req.requester;
+    li.data_valid = false;  // the new owner will dirty it
+  }
+  send(rep);
+
+  // Serve the next queued request for this line immediately — leaving a
+  // cycle gap would let a newly arriving request clobber the queued one's
+  // transaction slot.
+  auto wit = waiting_.find(line);
+  if (wit != waiting_.end() && !wit->second.empty()) {
+    CohMsg next = wit->second.front();
+    wit->second.pop_front();
+    if (wit->second.empty()) waiting_.erase(wit);
+    start_txn(next);
+  }
+}
+
+void DirectorySlice::handle(const CohMsg& m) {
+  switch (m.type) {
+    case CohType::kShReq:
+    case CohType::kExReq: {
+      if (active_.count(m.line)) {
+        waiting_[m.line].push_back(m);
+      } else {
+        start_txn(m);
+      }
+      return;
+    }
+    case CohType::kEvictNotify: {
+      ++env_.counters->dir_writes;
+      LineInfo& li = info(m.line);
+      const bool was_sharer = li.sharers.remove(m.src);
+      auto it = active_.find(m.line);
+      if (was_sharer && it != active_.end() && it->second.pending_acks > 0) {
+        // The eviction crossed an in-flight invalidation to this core; it
+        // stands in for the acknowledgement (the core won't ack an absent
+        // line under ACKwise).
+        --it->second.pending_acks;
+        maybe_complete(m.line);
+      }
+      return;
+    }
+    case CohType::kDirtyWb: {
+      ++env_.counters->dir_writes;
+      LineInfo& li = info(m.line);
+      // The line is committed to DRAM (and refreshes the home data buffer).
+      li.data_valid = true;
+      dram_.request(/*write=*/true, [](Cycle) {});
+      auto it = active_.find(m.line);
+      if (it != active_.end()) {
+        it->second.have_data = true;
+        it->second.expect_dirty_wb = false;
+        if (li.owner == m.src) {
+          // Crossed with our Flush/WbReq; the owner is gone.
+          it->second.waiting_owner = false;
+          li.owner = kInvalidCore;
+          li.state = LineState::kInvalid;
+        }
+        maybe_complete(m.line);
+      } else if (li.owner == m.src) {
+        li.owner = kInvalidCore;
+        li.state = LineState::kInvalid;
+      }
+      return;
+    }
+    case CohType::kInvAck: {
+      auto it = active_.find(m.line);
+      assert(it != active_.end() && "stray InvAck");
+      if (it == active_.end()) return;
+      info(m.line).sharers.remove(m.src);
+      --it->second.pending_acks;
+      if (m.carries_data) it->second.have_data = true;
+      maybe_complete(m.line);
+      return;
+    }
+    case CohType::kFlushAck:
+    case CohType::kWbAck: {
+      auto it = active_.find(m.line);
+      assert(it != active_.end() && "stray owner ack");
+      if (it == active_.end()) return;
+      Txn& txn = it->second;
+      txn.waiting_owner = false;
+      LineInfo& li = info(m.line);
+      if (m.carries_data) {
+        txn.have_data = true;
+        if (m.type == CohType::kWbAck) {
+          // Owner demoted M->S and the dirty line was written back.
+          li.data_valid = true;
+          dram_.request(/*write=*/true, [](Cycle) {});
+          li.sharers.add(m.src);
+          li.state = LineState::kShared;
+          li.owner = kInvalidCore;
+        } else {
+          li.owner = kInvalidCore;
+          li.state = LineState::kInvalid;
+        }
+      } else {
+        // The owner evicted; its DirtyWb is in flight and will deliver the
+        // data. Do not fall back to DRAM (it is stale until the WB lands).
+        txn.expect_dirty_wb = true;
+        li.owner = kInvalidCore;
+        li.state = LineState::kInvalid;
+      }
+      maybe_complete(m.line);
+      return;
+    }
+    default:
+      assert(false && "unexpected message at directory");
+  }
+}
+
+
+std::vector<DirectorySlice::TxnDebug> DirectorySlice::debug_active() const {
+  std::vector<TxnDebug> out;
+  for (const auto& [line, t] : active_) {
+    const auto dit = dir_.find(line);
+    std::vector<CoreId> ptrs;
+    bool glob = false;
+    int cnt = 0;
+    CoreId owner = kInvalidCore;
+    int st = 0;
+    if (dit != dir_.end()) {
+      ptrs = dit->second.sharers.pointers();
+      glob = dit->second.sharers.global();
+      cnt = dit->second.sharers.count();
+      owner = dit->second.owner;
+      st = static_cast<int>(dit->second.state);
+    }
+    out.push_back({line, t.req.type, t.req.requester, t.pending_acks,
+                   t.waiting_owner, t.have_data, t.need_data, t.dram_pending,
+                   t.expect_dirty_wb, ptrs, glob, cnt, owner, st});
+  }
+  return out;
+}
+
+}  // namespace atacsim::mem
+

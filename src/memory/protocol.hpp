@@ -1,0 +1,88 @@
+// Coherence protocol message vocabulary and shared plumbing types.
+//
+// The protocol is a full-map-semantics MSI directory protocol with two
+// sharer-tracking schemes (paper Sec. III-B, V-F):
+//   * ACKwise_k — tracks up to k sharer pointers; past k it sets a global
+//     bit and keeps an exact sharer count. Invalidations then broadcast, but
+//     only actual sharers acknowledge. Requires eviction notifications.
+//   * Dir_kB   — tracks up to k pointers; past k it broadcasts and collects
+//     acknowledgements from EVERY core. Supports silent evictions.
+// Broadcast/unicast ordering across the two physical networks is restored
+// with per-directory-slice sequence numbers (paper Sec. IV-C-1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/counters.hpp"
+#include "common/params.hpp"
+#include "common/types.hpp"
+
+namespace atacsim::mem {
+
+enum class CohType : std::uint8_t {
+  // cache -> directory
+  kShReq,        ///< read miss: request shared copy
+  kExReq,        ///< write miss / upgrade: request exclusive copy
+  kEvictNotify,  ///< clean S-line eviction (ACKwise only)
+  kDirtyWb,      ///< M-line eviction with data
+  // directory -> cache
+  kInvReq,    ///< invalidate (unicast or broadcast)
+  kFlushReq,  ///< owner must invalidate and return data
+  kWbReq,     ///< owner must demote M->S and return data
+  kShRep,     ///< shared response (carries line)
+  kExRep,     ///< exclusive response (carries line)
+  // cache -> directory (acknowledgements)
+  kInvAck,
+  kFlushAck,  ///< carries data if the line was still present
+  kWbAck,     ///< carries data if the line was still present
+  // directory <-> memory controller
+  kDramReq,
+  kDramRep,  ///< carries line
+};
+
+const char* to_string(CohType t);
+
+struct CohMsg {
+  CohType type{};
+  Addr line = 0;          ///< line-aligned address
+  CoreId src = kInvalidCore;
+  CoreId dst = kInvalidCore;       ///< kBroadcastCore for broadcast invs
+  CoreId requester = kInvalidCore; ///< original requester (directory txns)
+  std::uint16_t seq = 0;           ///< directory-slice sequence number
+  HubId dir_slice = -1;            ///< slice the seq belongs to
+  bool carries_data = false;
+  bool dram_write = false;  ///< for kDramReq: write-back vs fetch
+
+  bool is_broadcast() const { return dst == kBroadcastCore; }
+};
+
+/// Hooks a memory component uses to talk to the world. The Machine wires
+/// these into the event queue and the network model.
+struct MemEnv {
+  const MachineParams* params = nullptr;
+  MemCounters* counters = nullptr;
+
+  /// Schedules `fn` to run at simulated cycle `t` (clamped to now).
+  std::function<void(Cycle t, std::function<void()> fn)> schedule;
+
+  /// Sends `m` into the network no earlier than cycle `t`. The receiver's
+  /// handler is invoked (via the event queue) at the delivery cycle, once
+  /// per receiver for broadcasts. Returns the cycle at which the sender's
+  /// port is free again (back-pressure; callers serialize their sends on it).
+  std::function<Cycle(Cycle t, const CohMsg& m)> send;
+
+  Cycle now() const { return now_fn(); }
+  std::function<Cycle()> now_fn;
+};
+
+/// 16-bit sequence numbers with TCP-style wraparound ordering.
+inline bool seq_before_eq(std::uint16_t a, std::uint16_t b) {
+  // a <= b in modular arithmetic (window < 2^15).
+  return static_cast<std::uint16_t>(b - a) < 0x8000;
+}
+inline bool seq_before(std::uint16_t a, std::uint16_t b) {
+  return a != b && seq_before_eq(a, b);
+}
+
+}  // namespace atacsim::mem

@@ -1,0 +1,203 @@
+#include "network/atac_model.hpp"
+
+#include <algorithm>
+
+namespace atacsim::net {
+
+AtacModel::AtacModel(const MachineParams& mp)
+    : mp_(mp),
+      geom_(mp),
+      enet_(mp, /*hw_broadcast=*/false, &counters_),
+      hub_data_link_(static_cast<std::size_t>(geom_.num_clusters())),
+      starnets_() {
+  starnets_.reserve(static_cast<std::size_t>(geom_.num_clusters()));
+  for (int c = 0; c < geom_.num_clusters(); ++c)
+    starnets_.emplace_back(mp_.starnets_per_cluster);
+}
+
+bool AtacModel::unicast_uses_onet(CoreId src, CoreId dst) const {
+  if (geom_.same_cluster(src, dst)) return false;  // always pure ENet
+  switch (mp_.routing) {
+    case RoutingPolicy::kCluster:
+      return true;
+    case RoutingPolicy::kDistance:
+      return geom_.manhattan(src, dst) >= mp_.r_thres;
+    case RoutingPolicy::kDistanceAll:
+      return false;
+  }
+  return true;
+}
+
+Cycle AtacModel::receive_leg(HubId cluster, Cycle head_at_hub, int flits,
+                             CoreId src, CoreId dst,
+                             const DeliveryFn& deliver) {
+  // StarNet/BNet: single-cycle from hub to core (Sec. IV-B). A unicast takes
+  // one channel of one receive net; energy differs by variant (BNet's fanout
+  // tree toggles ~half the cluster regardless of destination). The channel
+  // is keyed by sender so messages from one source never reorder (a short
+  // coherence message overtaking a data reply on the sibling StarNet would
+  // break the directory protocol's per-pair FIFO assumption).
+  const Cycle start =
+      starnets_[static_cast<std::size_t>(cluster)].acquire_keyed(
+          static_cast<std::size_t>(src), head_at_hub,
+          static_cast<Cycle>(flits));
+  const int links_toggled =
+      (mp_.receive_net == ReceiveNet::kBNet) ? mp_.cores_per_cluster() / 2 : 1;
+  counters_.recvnet_link_flits +=
+      static_cast<std::uint64_t>(flits) * links_toggled;
+  counters_.hub_flits += flits;
+  const Cycle tail = start + mp_.starnet_link_delay + flits - 1;
+  deliver(dst, tail);
+  return tail;
+}
+
+Cycle AtacModel::receive_leg_bcast(HubId cluster, Cycle head_at_hub, int flits,
+                                   CoreId src, CoreId skip,
+                                   const DeliveryFn& deliver) {
+  // A broadcast occupies all 16 links of one StarNet (or the whole BNet
+  // tree) for the packet's serialization time. Keyed by sender for the same
+  // FIFO reason as receive_leg.
+  const Cycle start =
+      starnets_[static_cast<std::size_t>(cluster)].acquire_keyed(
+          static_cast<std::size_t>(src), head_at_hub,
+          static_cast<Cycle>(flits));
+  const int links_toggled = (mp_.receive_net == ReceiveNet::kBNet)
+                                ? mp_.cores_per_cluster() / 2
+                                : mp_.cores_per_cluster();
+  counters_.recvnet_link_flits +=
+      static_cast<std::uint64_t>(flits) * links_toggled;
+  counters_.hub_flits += flits;
+  const Cycle tail = start + mp_.starnet_link_delay + flits - 1;
+  const int cw = mp_.cluster_width;
+  const int bx = geom_.cluster_x(cluster) * cw;
+  const int by = geom_.cluster_y(cluster) * cw;
+  for (int yy = by; yy < by + cw; ++yy)
+    for (int xx = bx; xx < bx + cw; ++xx) {
+      const CoreId c = geom_.core_at(xx, yy);
+      if (c != skip) deliver(c, tail);
+    }
+  return tail;
+}
+
+Cycle AtacModel::onet_unicast(Cycle t, CoreId src, CoreId dst, int flits,
+                              const DeliveryFn& deliver) {
+  const HubId sh = geom_.cluster_of(src);
+  const HubId dh = geom_.cluster_of(dst);
+  const CoreId hub_core = geom_.hub_core(sh);
+
+  // ENet leg to the sending hub (none if the source sits on the hub tile).
+  Cycle head_at_hub = t;
+  if (src != hub_core) {
+    Cycle arrival = t;
+    enet_.send_unicast(
+        t, src, hub_core, flits,
+        [&](CoreId, Cycle tail) { arrival = tail; }, /*count_traffic=*/false);
+    head_at_hub = arrival - (flits - 1);  // head precedes tail
+  }
+
+  // Select notification fires `onet_select_data_lag` before the data link;
+  // the SWMR data channel then serializes the packet.
+  const Cycle start = hub_data_link_[static_cast<std::size_t>(sh)].acquire(
+      head_at_hub + mp_.router_delay + mp_.onet_select_data_lag,
+      static_cast<Cycle>(flits));
+  counters_.hub_flits += flits;
+  ++counters_.onet_selects;
+  counters_.onet_flits_sent += flits;
+  counters_.onet_flit_receptions += flits;
+  counters_.laser_unicast_cycles += flits;
+  ++onet_unicasts_;
+
+  const Cycle head_at_recv_hub = start + mp_.onet_link_delay;
+  return receive_leg(dh, head_at_recv_hub, flits, src, dst, deliver);
+}
+
+Cycle AtacModel::onet_broadcast(Cycle t, CoreId src, int flits,
+                                const DeliveryFn& deliver) {
+  const HubId sh = geom_.cluster_of(src);
+  const CoreId hub_core = geom_.hub_core(sh);
+
+  Cycle head_at_hub = t;
+  Cycle sender_free = t + static_cast<Cycle>(flits);
+  if (src != hub_core) {
+    Cycle arrival = t;
+    sender_free = enet_.send_unicast(
+        t, src, hub_core, flits,
+        [&](CoreId, Cycle tail) { arrival = tail; }, /*count_traffic=*/false);
+    head_at_hub = arrival - (flits - 1);
+  }
+
+  const Cycle start = hub_data_link_[static_cast<std::size_t>(sh)].acquire(
+      head_at_hub + mp_.router_delay + mp_.onet_select_data_lag,
+      static_cast<Cycle>(flits));
+  counters_.hub_flits += flits;
+  ++counters_.onet_selects;
+  counters_.onet_flits_sent += flits;
+  counters_.onet_flit_receptions +=
+      static_cast<std::uint64_t>(flits) * (geom_.num_clusters() - 1);
+  counters_.laser_bcast_cycles += flits;
+  ++onet_bcasts_;
+
+  const Cycle head_at_recv = start + mp_.onet_link_delay;
+  Cycle latest = head_at_recv;
+  for (HubId h = 0; h < geom_.num_clusters(); ++h) {
+    // The sending hub forwards to its own cluster electrically (its filters
+    // are not tuned to its own wavelength), with the same single-cycle cost.
+    latest = std::max(
+        latest, receive_leg_bcast(h, head_at_recv, flits, src, src, deliver));
+  }
+
+  ++counters_.bcast_packets;
+  counters_.flits_injected += flits;
+  counters_.recv_bcast_flits +=
+      static_cast<std::uint64_t>(flits) * (geom_.num_cores() - 1);
+  counters_.packet_latency.sample(static_cast<double>(latest - t));
+  return sender_free;
+}
+
+Cycle AtacModel::inject(Cycle t, const NetPacket& p,
+                        const DeliveryFn& deliver) {
+  const int flits = flits_of(p);
+  if (p.is_broadcast()) return onet_broadcast(t, p.src, flits, deliver);
+
+  if (!unicast_uses_onet(p.src, p.dst))
+    return enet_.send_unicast(t, p.src, p.dst, flits, deliver,
+                              /*count_traffic=*/true);
+
+  Cycle tail = t;
+  DeliveryFn track = [&](CoreId r, Cycle arr) {
+    tail = arr;
+    deliver(r, arr);
+  };
+  // Sender is free once its flits have left the source NIC; approximate
+  // with the ENet leg's injection serialization.
+  const Cycle sender_free = t + flits;
+  const Cycle done = onet_unicast(t, p.src, p.dst, flits, track);
+  (void)done;
+  ++counters_.unicast_packets;
+  counters_.flits_injected += flits;
+  counters_.recv_unicast_flits += flits;
+  counters_.packet_latency.sample(static_cast<double>(tail - t));
+  return sender_free;
+}
+
+double AtacModel::link_utilization(Cycle total_cycles) const {
+  if (total_cycles == 0) return 0.0;
+  Cycle busy = 0;
+  for (const auto& ch : hub_data_link_) busy += ch.busy_cycles();
+  return static_cast<double>(busy) /
+         (static_cast<double>(total_cycles) * hub_data_link_.size());
+}
+
+std::unique_ptr<NetworkModel> make_network(const MachineParams& mp) {
+  switch (mp.network) {
+    case NetworkKind::kEMeshPure:
+      return std::make_unique<EMeshModel>(mp, /*hw_broadcast=*/false);
+    case NetworkKind::kEMeshBCast:
+      return std::make_unique<EMeshModel>(mp, /*hw_broadcast=*/true);
+    case NetworkKind::kAtacPlus:
+      return std::make_unique<AtacModel>(mp);
+  }
+  return nullptr;
+}
+
+}  // namespace atacsim::net

@@ -1,0 +1,173 @@
+#include "network/emesh_model.hpp"
+
+#include <algorithm>
+
+namespace atacsim::net {
+
+EMeshModel::EMeshModel(const MachineParams& mp, bool hw_broadcast,
+                       NetCounters* sink)
+    : mp_(mp),
+      geom_(mp),
+      hw_broadcast_(hw_broadcast),
+      sink_(sink ? sink : &counters_) {
+  links_.resize(static_cast<std::size_t>(geom_.num_cores()) * kPorts);
+}
+
+int EMeshModel::flits_of(const NetPacket& p) const {
+  int bits = p.bits;
+  if (p.cls == MsgClass::kCoherence) bits = mp_.coherence_msg_bits;
+  if (p.cls == MsgClass::kData) bits = mp_.data_msg_bits;
+  return (bits + mp_.flit_bits - 1) / mp_.flit_bits;
+}
+
+Cycle EMeshModel::route_head(CoreId from, CoreId to, Cycle head, int flits) {
+  // XY dimension-order routing, one call per hop chain.
+  int cx = geom_.x(from), cy = geom_.y(from);
+  const int tx = geom_.x(to), ty = geom_.y(to);
+  while (cx != tx || cy != ty) {
+    Port port;
+    int nx = cx, ny = cy;
+    if (cx != tx) {
+      port = (tx > cx) ? kE : kW;
+      nx += (tx > cx) ? 1 : -1;
+    } else {
+      port = (ty > cy) ? kS : kN;
+      ny += (ty > cy) ? 1 : -1;
+    }
+    const std::size_t link =
+        static_cast<std::size_t>(geom_.core_at(cx, cy)) * kPorts + port;
+    const Cycle start = links_[link].acquire(head + mp_.router_delay,
+                                             static_cast<Cycle>(flits));
+    head = start + mp_.link_delay;
+    sink().enet_router_flits += flits;
+    sink().enet_link_flits += flits;
+    cx = nx;
+    cy = ny;
+  }
+  return head;
+}
+
+Cycle EMeshModel::deliver_at(CoreId dst, Cycle head_arrival, int flits,
+                             const DeliveryFn& deliver) {
+  const std::size_t ej = static_cast<std::size_t>(dst) * kPorts + kEject;
+  const Cycle start = links_[ej].acquire(head_arrival + mp_.router_delay,
+                                         static_cast<Cycle>(flits));
+  sink().enet_router_flits += flits;
+  const Cycle tail = start + mp_.link_delay + flits - 1;
+  deliver(dst, tail);
+  return tail;
+}
+
+Cycle EMeshModel::unicast(Cycle t, CoreId src, CoreId dst, int flits,
+                          const DeliveryFn& deliver, bool count_traffic) {
+  const std::size_t inj = static_cast<std::size_t>(src) * kPorts + kInject;
+  const Cycle start = links_[inj].acquire(t, static_cast<Cycle>(flits));
+  const Cycle head = route_head(src, dst, start, flits);
+  const Cycle tail = deliver_at(dst, head, flits, deliver);
+  if (count_traffic) {
+    ++sink().unicast_packets;
+    sink().flits_injected += flits;
+    sink().recv_unicast_flits += flits;
+    sink().packet_latency.sample(static_cast<double>(tail - t));
+  }
+  return start + flits;  // sender injection port free
+}
+
+Cycle EMeshModel::bcast_tree(Cycle t, CoreId src, int flits,
+                             const DeliveryFn& deliver) {
+  const std::size_t inj = static_cast<std::size_t>(src) * kPorts + kInject;
+  const Cycle start = links_[inj].acquire(t, static_cast<Cycle>(flits));
+
+  Cycle latest = start;
+  const int sy = geom_.y(src);
+  // Walk the source row in both directions (including the source column),
+  // and from every row node spawn column walks up and down.
+  auto column_walks = [&](CoreId row_node, Cycle head) {
+    latest = std::max(latest,
+                      deliver_at(row_node, head, flits, deliver));
+    for (int dir : {-1, +1}) {
+      Cycle h = head;
+      int yy = sy;
+      while (true) {
+        const int ny = yy + dir;
+        if (ny < 0 || ny >= geom_.width()) break;
+        const CoreId from = geom_.core_at(geom_.x(row_node), yy);
+        const CoreId to = geom_.core_at(geom_.x(row_node), ny);
+        h = route_head(from, to, h, flits);
+        latest = std::max(latest, deliver_at(to, h, flits, deliver));
+        yy = ny;
+      }
+    }
+  };
+
+  // Source column first (source node itself is NOT a receiver).
+  {
+    Cycle head = start;
+    for (int dir : {-1, +1}) {
+      Cycle h = head;
+      int yy = sy;
+      while (true) {
+        const int ny = yy + dir;
+        if (ny < 0 || ny >= geom_.width()) break;
+        const CoreId from = geom_.core_at(geom_.x(src), yy);
+        const CoreId to = geom_.core_at(geom_.x(src), ny);
+        h = route_head(from, to, h, flits);
+        latest = std::max(latest, deliver_at(to, h, flits, deliver));
+        yy = ny;
+      }
+    }
+  }
+  // Row walks east and west, spawning columns at each visited node.
+  for (int dir : {-1, +1}) {
+    Cycle h = start;
+    int xx = geom_.x(src);
+    while (true) {
+      const int nx = xx + dir;
+      if (nx < 0 || nx >= geom_.width()) break;
+      const CoreId from = geom_.core_at(xx, sy);
+      const CoreId to = geom_.core_at(nx, sy);
+      h = route_head(from, to, h, flits);
+      column_walks(to, h);
+      xx = nx;
+    }
+  }
+
+  ++sink().bcast_packets;
+  sink().flits_injected += flits;
+  sink().recv_bcast_flits +=
+      static_cast<std::uint64_t>(flits) * (geom_.num_cores() - 1);
+  sink().packet_latency.sample(static_cast<double>(latest - t));
+  return start + flits;
+}
+
+Cycle EMeshModel::inject(Cycle t, const NetPacket& p,
+                         const DeliveryFn& deliver) {
+  const int flits = flits_of(p);
+  if (!p.is_broadcast())
+    return unicast(t, p.src, p.dst, flits, deliver, /*count_traffic=*/true);
+
+  if (hw_broadcast_) return bcast_tree(t, p.src, flits, deliver);
+
+  // EMesh-Pure: a broadcast degrades into N-1 unicasts serialized through
+  // the source injection port (Sec. V-B).
+  Cycle sender_free = t;
+  Cycle latest = t;
+  for (CoreId dst = 0; dst < geom_.num_cores(); ++dst) {
+    if (dst == p.src) continue;
+    DeliveryFn track = [&](CoreId r, Cycle arr) {
+      latest = std::max(latest, arr);
+      deliver(r, arr);
+    };
+    sender_free = unicast(sender_free, p.src, dst, flits, track,
+                          /*count_traffic=*/false);
+  }
+  ++sink().bcast_packets;
+  sink().flits_injected +=
+      static_cast<std::uint64_t>(flits) * (geom_.num_cores() - 1);
+  sink().recv_bcast_flits +=
+      static_cast<std::uint64_t>(flits) * (geom_.num_cores() - 1);
+  sink().packet_latency.sample(static_cast<double>(latest - t));
+  return sender_free;
+}
+
+}  // namespace atacsim::net

@@ -1,0 +1,64 @@
+// Electrical 2-D mesh network models: EMesh-Pure and EMesh-BCast.
+//
+// Wormhole cut-through is approximated at flow level: the packet head
+// propagates hop by hop (router + link delay); every traversed link is
+// reserved for the packet's serialization time; the tail arrives
+// `flits - 1` cycles after the head. EMesh-BCast forwards broadcasts along
+// an XY multicast tree (row first, then columns); EMesh-Pure serializes
+// N-1 unicasts through the source injection port.
+#pragma once
+
+#include "common/params.hpp"
+#include "network/ledger.hpp"
+#include "network/mesh_geom.hpp"
+#include "network/packet.hpp"
+
+namespace atacsim::net {
+
+class EMeshModel : public NetworkModel {
+ public:
+  /// `sink` redirects counters (used when the mesh is the ENet inside an
+  /// AtacModel and must share the owner's counter block); nullptr = own.
+  EMeshModel(const MachineParams& mp, bool hw_broadcast,
+             NetCounters* sink = nullptr);
+
+  Cycle inject(Cycle t, const NetPacket& p, const DeliveryFn& deliver) override;
+
+  const MeshGeom& geom() const { return geom_; }
+
+  /// Flits for a packet of `bits` at the configured flit width.
+  int flits_of(const NetPacket& p) const;
+
+  /// Unicast entry point for composite networks. When `count_traffic` is
+  /// false only flit-hop activity is recorded, not packet-level stats.
+  Cycle send_unicast(Cycle t, CoreId src, CoreId dst, int flits,
+                     const DeliveryFn& deliver, bool count_traffic) {
+    return unicast(t, src, dst, flits, deliver, count_traffic);
+  }
+
+ private:
+  NetCounters& sink() { return *sink_; }
+
+  // Directed link ids: node * kPorts + {E,W,S,N,Inject,Eject}.
+  enum Port { kE = 0, kW, kS, kN, kInject, kEject, kPorts };
+
+  /// Advances the packet head from `from` one hop toward `to` (XY route),
+  /// reserving links; returns head-arrival cycle at `to`.
+  Cycle route_head(CoreId from, CoreId to, Cycle head_at_from, int flits);
+
+  Cycle deliver_at(CoreId dst, Cycle head_arrival, int flits,
+                   const DeliveryFn& deliver);
+
+  Cycle unicast(Cycle t, CoreId src, CoreId dst, int flits,
+                const DeliveryFn& deliver, bool count_traffic);
+
+  Cycle bcast_tree(Cycle t, CoreId src, int flits, const DeliveryFn& deliver);
+
+  MachineParams mp_;
+  MeshGeom geom_;
+  ChannelArray links_;
+  bool hw_broadcast_;
+  NetCounters* sink_ = nullptr;
+};
+
+}  // namespace atacsim::net

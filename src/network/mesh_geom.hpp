@@ -1,0 +1,60 @@
+// Mesh / cluster geometry helpers shared by all network models.
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/params.hpp"
+#include "common/types.hpp"
+
+namespace atacsim::net {
+
+/// Coordinates and cluster/hub mapping for a square mesh of cores grouped
+/// into square clusters (paper: 32x32 cores, 8x8 clusters of 4x4).
+class MeshGeom {
+ public:
+  explicit MeshGeom(const MachineParams& mp)
+      : width_(mp.mesh_width),
+        cluster_w_(mp.cluster_width),
+        clusters_per_row_(mp.clusters_per_row()) {}
+
+  int width() const { return width_; }
+  int num_cores() const { return width_ * width_; }
+  int num_clusters() const { return clusters_per_row_ * clusters_per_row_; }
+
+  int x(CoreId c) const { return static_cast<int>(c) % width_; }
+  int y(CoreId c) const { return static_cast<int>(c) / width_; }
+  CoreId core_at(int xx, int yy) const {
+    return static_cast<CoreId>(yy * width_ + xx);
+  }
+
+  int manhattan(CoreId a, CoreId b) const {
+    return std::abs(x(a) - x(b)) + std::abs(y(a) - y(b));
+  }
+
+  HubId cluster_of(CoreId c) const {
+    return static_cast<HubId>((y(c) / cluster_w_) * clusters_per_row_ +
+                              x(c) / cluster_w_);
+  }
+  int cluster_x(HubId h) const { return static_cast<int>(h) % clusters_per_row_; }
+  int cluster_y(HubId h) const { return static_cast<int>(h) / clusters_per_row_; }
+
+  /// The core tile at which the cluster's optical hub (and its memory
+  /// controller) sits: the centre of the cluster.
+  CoreId hub_core(HubId h) const {
+    const int hx = cluster_x(h) * cluster_w_ + cluster_w_ / 2;
+    const int hy = cluster_y(h) * cluster_w_ + cluster_w_ / 2;
+    return core_at(hx, hy);
+  }
+
+  bool same_cluster(CoreId a, CoreId b) const {
+    return cluster_of(a) == cluster_of(b);
+  }
+
+ private:
+  int width_;
+  int cluster_w_;
+  int clusters_per_row_;
+};
+
+}  // namespace atacsim::net

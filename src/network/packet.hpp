@@ -1,0 +1,50 @@
+// Network packet description and the network-model interface.
+#pragma once
+
+#include <functional>
+
+#include "common/counters.hpp"
+#include "common/types.hpp"
+
+namespace atacsim::net {
+
+enum class MsgClass : std::uint8_t {
+  kCoherence,  ///< 88-bit control message (+16-bit seqnum)
+  kData,       ///< 600-bit cache-line message (+16-bit seqnum)
+  kSynthetic,  ///< raw bits as given (synthetic traffic drivers)
+};
+
+struct NetPacket {
+  CoreId src = kInvalidCore;
+  CoreId dst = kInvalidCore;  ///< kBroadcastCore for a broadcast
+  int bits = 64;
+  MsgClass cls = MsgClass::kSynthetic;
+
+  bool is_broadcast() const { return dst == kBroadcastCore; }
+};
+
+/// Called once per receiver with the cycle at which the packet's tail flit
+/// is delivered there. For broadcasts it fires for every core except src.
+using DeliveryFn = std::function<void(CoreId receiver, Cycle arrival)>;
+
+/// Flow-level network model. Thread-hostile by design: the simulation is a
+/// deterministic single-threaded event program.
+class NetworkModel {
+ public:
+  virtual ~NetworkModel() = default;
+
+  /// Injects `p` no earlier than cycle `t`; invokes `deliver` synchronously
+  /// (the caller schedules the resulting events). Returns the cycle at which
+  /// the sender's injection port is free again — callers must not inject
+  /// from the same source before then (this is the back-pressure path).
+  virtual Cycle inject(Cycle t, const NetPacket& p,
+                       const DeliveryFn& deliver) = 0;
+
+  NetCounters& counters() { return counters_; }
+  const NetCounters& counters() const { return counters_; }
+
+ protected:
+  NetCounters counters_;
+};
+
+}  // namespace atacsim::net

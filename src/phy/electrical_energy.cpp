@@ -1,0 +1,65 @@
+#include "phy/electrical_energy.hpp"
+
+#include <cmath>
+
+namespace atacsim::phy {
+namespace {
+
+// Effective switched device width per bit for the router sub-blocks, microns.
+// These are the DSENT-lite sizing constants: an input-buffer bit costs one
+// SRAM cell access (bitline + cell), a crossbar bit costs wiring that grows
+// with the port count, and allocators are small shared logic.
+constexpr double kBufferBitWidthUm = 0.30;      // per write or read
+constexpr double kXbarBitWidthPerPortUm = 0.12; // per output port traversed
+constexpr double kAllocWidthPerPortUm = 8.0;    // shared control logic
+
+// Leaking device width per buffered bit (6T cell, HVT).
+constexpr double kCellLeakWidthUm = 0.10;
+// Fraction of total device cap on the clock network, toggling every cycle.
+constexpr double kClockCapFraction = 0.08;
+
+// Layout density used for area estimates: device width (um) -> um^2.
+constexpr double kUm2PerUmWidth = 2.5;
+// Global wire pitch for link area, microns per wire.
+constexpr double kWirePitchUm = 0.2;
+// Repeater leakage per mm of wire per bit, microwatts.
+constexpr double kRepeaterLeakUwPerBitMm = 0.004;
+
+}  // namespace
+
+RouterEnergyModel::RouterEnergyModel(const TriGateModel& dev, int num_ports,
+                                     int flit_bits, int buffer_depth_flits) {
+  const double e_um = dev.switch_energy_fJ_per_um();  // fJ per um of width
+
+  const double buf_fJ = 2.0 * kBufferBitWidthUm * flit_bits * e_um;  // wr + rd
+  const double xbar_fJ = kXbarBitWidthPerPortUm * num_ports * flit_bits * e_um;
+  const double alloc_fJ = kAllocWidthPerPortUm * num_ports * e_um * 0.1;
+  per_flit_pJ_ = (buf_fJ + xbar_fJ + alloc_fJ) * 1e-3;
+
+  // Leakage: buffered bits dominate; crossbar/alloc widths added once.
+  const double leak_width_um =
+      num_ports * buffer_depth_flits * flit_bits * kCellLeakWidthUm +
+      num_ports * flit_bits * kXbarBitWidthPerPortUm +
+      num_ports * kAllocWidthPerPortUm;
+  leakage_mW_ = leak_width_um * dev.leakage_uW_per_um() * 1e-3;
+
+  // Clock: a slice of total device cap toggles once per cycle.
+  const double total_width_um = leak_width_um;  // same inventory
+  const double clock_cap_fF =
+      total_width_um * dev.device_cap_fF_per_um() * kClockCapFraction;
+  const double v = dev.params().vdd_V;
+  // P(mW) = C(fF) * V^2 * f(GHz) * 1e-3
+  clock_mW_per_GHz_ = clock_cap_fF * v * v * 1e-3;
+
+  area_mm2_ = total_width_um * kUm2PerUmWidth * 1e-6;
+}
+
+LinkEnergyModel::LinkEnergyModel(const TriGateModel& dev, double length_mm,
+                                 int width_bits) {
+  per_flit_pJ_ = dev.wire_energy_fJ_per_bit(length_mm) * width_bits * 1e-3;
+  leakage_mW_ =
+      kRepeaterLeakUwPerBitMm * length_mm * width_bits * 1e-3;
+  area_mm2_ = width_bits * kWirePitchUm * 1e-3 * length_mm;
+}
+
+}  // namespace atacsim::phy

@@ -1,0 +1,55 @@
+// DSENT-lite electrical router and link energy/area models.
+//
+// A mesh router is modelled as input buffers (SRAM read+write per flit),
+// a crossbar traversal, and switch/VC allocation logic; a link as a repeated
+// global wire of the tile-to-tile length. Constants are derived from the
+// TriGateModel and sized per flit width and port count, following the
+// structure (not the code) of DSENT [26].
+#pragma once
+
+#include "common/params.hpp"
+#include "phy/tri_gate.hpp"
+
+namespace atacsim::phy {
+
+struct RouterEnergyModel {
+  RouterEnergyModel(const TriGateModel& dev, int num_ports, int flit_bits,
+                    int buffer_depth_flits = 4);
+
+  /// Dynamic energy for one flit to traverse the router (buffer write + read
+  /// + crossbar + allocation), picojoules.
+  double per_flit_pJ() const { return per_flit_pJ_; }
+
+  /// Static (leakage) power of the router, milliwatts.
+  double leakage_mW() const { return leakage_mW_; }
+
+  /// Clock power of the router when the clock is ungated, milliwatts at the
+  /// given frequency.
+  double clock_mW(double freq_GHz) const { return clock_mW_per_GHz_ * freq_GHz; }
+
+  /// Router area, square millimetres.
+  double area_mm2() const { return area_mm2_; }
+
+ private:
+  double per_flit_pJ_ = 0;
+  double leakage_mW_ = 0;
+  double clock_mW_per_GHz_ = 0;
+  double area_mm2_ = 0;
+};
+
+struct LinkEnergyModel {
+  LinkEnergyModel(const TriGateModel& dev, double length_mm, int width_bits);
+
+  /// Dynamic energy for one flit traversal of the link, picojoules.
+  double per_flit_pJ() const { return per_flit_pJ_; }
+  /// Leakage of the repeaters, milliwatts.
+  double leakage_mW() const { return leakage_mW_; }
+  double area_mm2() const { return area_mm2_; }
+
+ private:
+  double per_flit_pJ_ = 0;
+  double leakage_mW_ = 0;
+  double area_mm2_ = 0;
+};
+
+}  // namespace atacsim::phy

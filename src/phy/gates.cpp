@@ -1,0 +1,174 @@
+#include "phy/gates.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atacsim::phy {
+namespace {
+// Minimum inverter: NMOS 0.05 um + PMOS 0.06 um of effective tri-gate width
+// (fin-quantized widths folded into effective microns).
+constexpr double kMinNmosUm = 0.05;
+constexpr double kMinPmosUm = 0.06;
+// Layout density for area estimates.
+constexpr double kUm2PerUmWidth = 2.5;
+// 6T cell geometry.
+constexpr double kCellWidthUm = 0.30;
+constexpr double kCellHeightUm = 0.22;
+constexpr double kCellLeakWidthUm = 0.08;
+// Bitline capacitance per cell attached (drain + wire), fF.
+constexpr double kBitlineCapPerCellfF = 0.045;
+// Wordline capacitance per cell (two access gates), fF.
+constexpr double kWordlineCapPerCellfF = 0.06;
+// Bitline swing fraction on reads (sense amps fire early).
+constexpr double kReadSwing = 0.25;
+}  // namespace
+
+StdCellLib::StdCellLib(const TriGateModel& dev) : dev_(dev) {
+  min_width_um_ = kMinNmosUm + kMinPmosUm;
+  // tau = R_on * C_in of a minimum inverter. R_on ~ V/(I_on * W_n).
+  const auto& t = dev_.params();
+  // I_on(uA) = uA/um * W(um); R(kOhm) = V / I(mA).
+  const double ion_uA = t.ion_n_uA_per_um * kMinNmosUm;
+  const double ron_kohm = t.vdd_V / (ion_uA * 1e-3);
+  const double cin_fF = min_width_um_ * t.cap_gate_fF_per_um;
+  tau_ps_ = ron_kohm * cin_fF;  // kOhm * fF = ps
+}
+
+Gate StdCellLib::inv(double x) const {
+  const auto& t = dev_.params();
+  Gate g;
+  g.device_width_um = min_width_um_ * x;
+  g.input_cap_fF = g.device_width_um * t.cap_gate_fF_per_um;
+  g.parasitic_cap_fF = g.device_width_um * t.cap_drain_fF_per_um;
+  g.logical_effort = 1.0;
+  return g;
+}
+
+Gate StdCellLib::nand2(double x) const {
+  Gate g = inv(x);
+  // Series NMOS stack doubles N width: ~4/3 logical effort, ~1.5x width.
+  g.device_width_um *= 1.5;
+  g.input_cap_fF *= 4.0 / 3.0;
+  g.parasitic_cap_fF *= 1.5;
+  g.logical_effort = 4.0 / 3.0;
+  return g;
+}
+
+Gate StdCellLib::nor2(double x) const {
+  Gate g = inv(x);
+  g.device_width_um *= 1.8;
+  g.input_cap_fF *= 5.0 / 3.0;
+  g.parasitic_cap_fF *= 1.8;
+  g.logical_effort = 5.0 / 3.0;
+  return g;
+}
+
+Gate StdCellLib::dff(double x) const {
+  // ~8 equivalent inverters of cap and width (transmission-gate DFF).
+  Gate g = inv(x);
+  g.device_width_um *= 8;
+  g.input_cap_fF *= 2;      // clock + data pins
+  g.parasitic_cap_fF *= 8;  // internal nodes
+  g.logical_effort = 1.0;
+  return g;
+}
+
+double StdCellLib::buffer_energy_fJ(double load_fF) const {
+  const auto& t = dev_.params();
+  const Gate stage1 = inv(1);
+  const Gate stage2 = inv(std::max(1.0, load_fF / (4 * stage1.input_cap_fF)));
+  const double cap = stage1.input_cap_fF + stage1.parasitic_cap_fF +
+                     stage2.input_cap_fF + stage2.parasitic_cap_fF + load_fF;
+  return cap * t.vdd_V * t.vdd_V;
+}
+
+RepeatedWire::RepeatedWire(const StdCellLib& lib, double length_mm,
+                           double wire_cap_fF_per_mm,
+                           double wire_res_ohm_per_mm) {
+  const auto& t = lib.device().params();
+  const double cw = wire_cap_fF_per_mm;                  // fF/mm
+  const double rw = wire_res_ohm_per_mm * 1e-3;          // kOhm/mm
+  const Gate unit = lib.inv(1);
+  const double r0 =
+      lib.tau_ps() / unit.input_cap_fF;                  // kOhm of unit inv
+  const double c0 = unit.input_cap_fF + unit.parasitic_cap_fF;
+
+  // Bakoglu: optimal segment length and repeater size.
+  const double l_opt_mm = std::sqrt(2.0 * r0 * c0 / (rw * cw));
+  num_repeaters_ = std::max(1, static_cast<int>(std::ceil(length_mm / l_opt_mm)));
+  repeater_size_ = std::max(1.0, std::sqrt(r0 * cw / (rw * c0)));
+
+  const double seg_mm = length_mm / num_repeaters_;
+  const double seg_delay =
+      0.69 * (r0 / repeater_size_) *
+          (c0 * repeater_size_ + cw * seg_mm) +
+      0.38 * rw * seg_mm * cw * seg_mm +
+      0.69 * rw * seg_mm * c0 * repeater_size_;
+  delay_ps_ = num_repeaters_ * seg_delay;
+
+  const double total_cap =
+      length_mm * cw + num_repeaters_ * c0 * repeater_size_;
+  // Energy per bit: one transition per bit on average folded into 0.5
+  // activity is the caller's concern; report full-swing CV^2/2 here.
+  energy_fJ_ = 0.5 * total_cap * t.vdd_V * t.vdd_V;
+  leakage_uW_ = num_repeaters_ * repeater_size_ *
+                lib.leakage_uW(lib.inv(1));
+}
+
+SramMacro::SramMacro(const StdCellLib& lib, int rows, int cols,
+                     int max_subarray_rows) {
+  const auto& t = lib.device().params();
+  const double v = t.vdd_V;
+
+  num_subarrays_ = (rows + max_subarray_rows - 1) / max_subarray_rows;
+  const int sub_rows = (rows + num_subarrays_ - 1) / num_subarrays_;
+
+  // Bitline: swing * C_bitline * V^2 per bit read; full swing on writes.
+  const double c_bl = sub_rows * kBitlineCapPerCellfF;
+  bitline_energy_per_bit_fJ_ = kReadSwing * c_bl * v * v;
+
+  // Wordline: one row of cells plus the driver.
+  const double c_wl = cols * kWordlineCapPerCellfF;
+  wordline_energy_fJ_ = c_wl * v * v + lib.buffer_energy_fJ(c_wl);
+
+  // Decoder: log2(rows) levels of NAND trees, ~2 gates per address bit per
+  // active path plus predecode fanout.
+  int addr_bits = 1;
+  while ((1 << addr_bits) < rows) ++addr_bits;
+  const Gate nd = lib.nand2(2);
+  decode_energy_fJ_ = addr_bits * 4.0 * nd.self_energy_fJ(v);
+
+  // Sense amplifier + output driver per bit.
+  sense_energy_per_bit_fJ_ =
+      lib.inv(4).self_energy_fJ(v) + lib.buffer_energy_fJ(5.0);
+
+  // Delay: decoder (logical effort chain) + wordline + bitline + sense.
+  const double dec_delay = addr_bits * lib.gate_delay_ps(nd, nd.input_cap_fF * 4);
+  const double wl_delay = lib.gate_delay_ps(lib.inv(8), c_wl);
+  const double bl_delay = 0.69 * 2.0 /*kOhm cell*/ * c_bl * kReadSwing;
+  delay_ps_ = dec_delay + wl_delay + bl_delay + lib.tau_ps() * 4;
+
+  // Leakage: cells + periphery (~20%).
+  const double cell_leak =
+      static_cast<double>(rows) * cols * kCellLeakWidthUm *
+      lib.device().leakage_uW_per_um();
+  leakage_uW_ = cell_leak * 1.2;
+
+  area_um2_ = static_cast<double>(rows) * cols * kCellWidthUm * kCellHeightUm *
+                  1.15 +  // array + strapping
+              cols * 30.0 /*sense+drivers*/ + rows * 6.0 /*decoder*/;
+  (void)kUm2PerUmWidth;
+}
+
+double SramMacro::read_energy_fJ(int bits_read) const {
+  return decode_energy_fJ_ + wordline_energy_fJ_ +
+         bits_read * (bitline_energy_per_bit_fJ_ + sense_energy_per_bit_fJ_);
+}
+
+double SramMacro::write_energy_fJ(int bits_written) const {
+  // Full-swing bitlines plus write drivers: modelled as a fixed factor over
+  // the read path (the standard CACTI-style approximation).
+  return read_energy_fJ(bits_written) * write_factor_;
+}
+
+}  // namespace atacsim::phy

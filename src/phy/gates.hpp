@@ -1,0 +1,117 @@
+// Gate-level building blocks (DSENT's "standard cell" layer): minimum-sized
+// INV / NAND2 / NOR2 / DFF characterized from the 11 nm tri-gate device
+// model, with logical-effort delay estimation and CV^2 energy. These feed
+// the structured wire/SRAM/router models and the `dsent_report` tool; the
+// calibrated coarse models in `electrical_energy.*` are cross-checked
+// against them in tests.
+#pragma once
+
+#include "phy/tri_gate.hpp"
+
+namespace atacsim::phy {
+
+/// A characterized static CMOS gate at a given drive strength.
+struct Gate {
+  double input_cap_fF = 0;    ///< per input
+  double parasitic_cap_fF = 0;
+  double logical_effort = 1;  ///< g (relative to an inverter)
+  double device_width_um = 0; ///< total transistor width (for leakage/area)
+
+  /// Switching energy of the gate's own capacitance at V_DD, femtojoules.
+  double self_energy_fJ(double vdd) const {
+    return (input_cap_fF + parasitic_cap_fF) * vdd * vdd;
+  }
+};
+
+/// Standard-cell library instantiated from the technology parameters.
+class StdCellLib {
+ public:
+  explicit StdCellLib(const TriGateModel& dev);
+
+  /// Gates at drive strength `x` (multiples of minimum size).
+  Gate inv(double x = 1) const;
+  Gate nand2(double x = 1) const;
+  Gate nor2(double x = 1) const;
+  Gate dff(double x = 1) const;
+
+  /// Intrinsic delay unit tau (ps): minimum inverter driving another.
+  double tau_ps() const { return tau_ps_; }
+
+  /// Logical-effort delay of a gate driving `load_fF`, picoseconds:
+  /// d = tau * (g * load/input_cap + p).
+  double gate_delay_ps(const Gate& g, double load_fF) const {
+    return tau_ps_ *
+           (g.logical_effort * load_fF / g.input_cap_fF + parasitic_delay_);
+  }
+
+  /// Leakage power of a gate, microwatts.
+  double leakage_uW(const Gate& g) const {
+    // Half the devices leak on average.
+    return 0.5 * g.device_width_um * dev_.leakage_uW_per_um();
+  }
+
+  /// Minimum-sized buffer (two inverters) energy to drive `load_fF`, fJ.
+  double buffer_energy_fJ(double load_fF) const;
+
+  const TriGateModel& device() const { return dev_; }
+
+ private:
+  TriGateModel dev_;
+  double min_width_um_;     ///< minimum inverter total width
+  double tau_ps_;
+  double parasitic_delay_ = 1.0;  ///< p of an inverter
+};
+
+/// Optimally repeated global wire (classic Bakoglu sizing): computes the
+/// repeater count/size minimizing delay, then reports delay, energy per bit
+/// and leakage for the resulting design.
+class RepeatedWire {
+ public:
+  RepeatedWire(const StdCellLib& lib, double length_mm,
+               double wire_cap_fF_per_mm, double wire_res_ohm_per_mm = 2000);
+
+  double delay_ps() const { return delay_ps_; }
+  double energy_fJ_per_bit() const { return energy_fJ_; }
+  double leakage_uW() const { return leakage_uW_; }
+  int num_repeaters() const { return num_repeaters_; }
+  double repeater_size() const { return repeater_size_; }
+
+ private:
+  double delay_ps_ = 0;
+  double energy_fJ_ = 0;
+  double leakage_uW_ = 0;
+  int num_repeaters_ = 0;
+  double repeater_size_ = 1;
+};
+
+/// Structured SRAM macro: row decoder, wordline drivers, bitline
+/// pre-charge/discharge, sense amplifiers and output drivers, organized in
+/// subarrays. The fidelity level below McPAT, above a flat formula.
+class SramMacro {
+ public:
+  /// `rows x cols` bit cells split into subarrays of at most
+  /// `max_subarray_rows` rows (bitline segmentation).
+  SramMacro(const StdCellLib& lib, int rows, int cols,
+            int max_subarray_rows = 128);
+
+  double read_energy_fJ(int bits_read) const;
+  double write_energy_fJ(int bits_written) const;
+  double access_delay_ps() const { return delay_ps_; }
+  double leakage_uW() const { return leakage_uW_; }
+  double area_um2() const { return area_um2_; }
+
+  int num_subarrays() const { return num_subarrays_; }
+
+ private:
+  double bitline_energy_per_bit_fJ_ = 0;
+  double decode_energy_fJ_ = 0;
+  double wordline_energy_fJ_ = 0;
+  double sense_energy_per_bit_fJ_ = 0;
+  double write_factor_ = 1.25;
+  double delay_ps_ = 0;
+  double leakage_uW_ = 0;
+  double area_um2_ = 0;
+  int num_subarrays_ = 1;
+};
+
+}  // namespace atacsim::phy

@@ -1,0 +1,48 @@
+// 11 nm tri-gate electrical device model (paper Table III, refs [29],[30]).
+//
+// From the virtual-source-style transistor parameters we derive the small set
+// of circuit-level quantities the DSENT-lite energy models need: switching
+// energy of a minimum inverter, leakage power per micron of device width, and
+// the energy cost of driving repeated global wires.
+#pragma once
+
+#include "common/params.hpp"
+
+namespace atacsim::phy {
+
+class TriGateModel {
+ public:
+  explicit TriGateModel(const TechParams& t) : t_(t) {}
+
+  /// Total switched capacitance (gate + drain) per micron of device width, fF.
+  double device_cap_fF_per_um() const {
+    return t_.cap_gate_fF_per_um + t_.cap_drain_fF_per_um;
+  }
+
+  /// CV^2 switching energy of one micron of device width, in femtojoules.
+  /// (Dynamic energy per full charge/discharge cycle of the node.)
+  double switch_energy_fJ_per_um() const {
+    return device_cap_fF_per_um() * t_.vdd_V * t_.vdd_V;
+  }
+
+  /// Sub-threshold leakage power per micron of device width, in microwatts.
+  /// P = I_off * V_DD; I_off in nA/um -> nW/um -> uW/um.
+  double leakage_uW_per_um() const {
+    return t_.ioff_nA_per_um * t_.vdd_V * 1e-3;
+  }
+
+  /// Energy to move one bit over `mm` of repeated global wire, femtojoules.
+  /// Uses the projected wire capacitance per mm; a 0.5 activity factor
+  /// (random data) and repeater overhead are folded into the scale parameter.
+  double wire_energy_fJ_per_bit(double mm) const {
+    const double cap_fF = t_.wire_cap_fF_per_mm * mm;
+    return 0.5 * cap_fF * t_.vdd_V * t_.vdd_V * t_.wire_energy_scale;
+  }
+
+  const TechParams& params() const { return t_; }
+
+ private:
+  TechParams t_;
+};
+
+}  // namespace atacsim::phy

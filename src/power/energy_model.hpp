@@ -1,0 +1,103 @@
+// Whole-chip energy and area aggregation.
+//
+// Mirrors the paper's toolflow: the functional simulation produces event
+// counters and a completion time; this model combines them with per-event
+// energies (DSENT-lite, McPAT-lite) and static powers to produce the energy
+// breakdowns of Figs. 7, 12, 16, 17 and the area breakdown of Fig. 10.
+#pragma once
+
+#include <memory>
+
+#include "common/counters.hpp"
+#include "common/params.hpp"
+#include "phy/electrical_energy.hpp"
+#include "phy/optical_link.hpp"
+#include "phy/tri_gate.hpp"
+#include "power/cache_model.hpp"
+#include "power/core_model.hpp"
+
+namespace atacsim::power {
+
+/// Joules per component over one application run.
+struct EnergyBreakdown {
+  // network: optical
+  double laser = 0;
+  double ring_tuning = 0;
+  double optical_other = 0;  ///< modulators + receivers + select link
+  // network: electrical
+  double enet_dynamic = 0;   ///< mesh router + link traversals
+  double enet_static = 0;    ///< router leakage + ungated clock
+  double recvnet = 0;        ///< StarNet or BNet fanout energy
+  double hub = 0;            ///< electrical hub crossings
+  // memory hierarchy (dynamic + leakage + clock, per cache class)
+  double l1i = 0;
+  double l1d = 0;
+  double l2 = 0;
+  double directory = 0;
+  // off-chip
+  double dram = 0;
+  // cores
+  double core_dd = 0;
+  double core_ndd = 0;
+
+  double network() const {
+    return laser + ring_tuning + optical_other + enet_dynamic + enet_static +
+           recvnet + hub;
+  }
+  double caches() const { return l1i + l1d + l2 + directory; }
+  double chip_no_core() const { return network() + caches(); }
+  double chip() const { return chip_no_core() + core_dd + core_ndd; }
+};
+
+/// Square millimetres per chip component (Fig. 10).
+struct AreaBreakdown {
+  double l1i = 0, l1d = 0, l2 = 0, directory = 0;
+  double enet = 0, recvnet = 0, hubs = 0, optical = 0;
+  double caches() const { return l1i + l1d + l2 + directory; }
+  double network() const { return enet + recvnet + hubs + optical; }
+  double total() const { return caches() + network(); }
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(const MachineParams& mp, const TechBundle& tb = {});
+
+  /// Integrates counters over a run of `completion_cycles`.
+  EnergyBreakdown compute(const NetCounters& net, const MemCounters& mem,
+                          const CoreCounters& core,
+                          double completion_cycles) const;
+
+  AreaBreakdown area() const;
+
+  const phy::PhotonicLinkModel& photonic_link() const { return *photonic_; }
+  const CacheEnergyModel& l2_model() const { return l2_; }
+  const CacheEnergyModel& directory_model() const { return dir_; }
+
+ private:
+  MachineParams mp_;
+  phy::TriGateModel dev_;
+  phy::RouterEnergyModel mesh_router_;
+  phy::RouterEnergyModel hub_router_;
+  phy::LinkEnergyModel mesh_link_;
+  phy::LinkEnergyModel recvnet_link_;
+  CacheEnergyModel l1i_, l1d_, l2_, dir_;
+  CoreEnergyModel core_model_;
+  // Photonic model only meaningful for ATAC+ machines, but constructed
+  // unconditionally (cheap) so benches can query it.
+  std::unique_ptr<phy::PhotonicLinkModel> photonic_;
+  double seconds_per_cycle_;
+};
+
+/// Number of directory entries and bits per entry for a k-pointer directory
+/// slice covering one core's home lines (used for both energy and area).
+struct DirectorySizing {
+  int entries = 0;
+  int entry_bits = 0;
+  int size_KB() const {
+    return static_cast<int>(
+        (static_cast<long long>(entries) * entry_bits + 8191) / 8192);
+  }
+  static DirectorySizing from(const MachineParams& mp);
+};
+
+}  // namespace atacsim::power

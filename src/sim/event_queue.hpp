@@ -1,0 +1,74 @@
+// Deterministic discrete-event engine.
+//
+// Events at equal cycles run in schedule order (a monotone sequence number
+// breaks ties), so a given program and seed always produce the same
+// simulation — a property the tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace atacsim {
+
+class EventQueue {
+ public:
+  using Fn = std::function<void()>;
+
+  void schedule(Cycle t, Fn fn) {
+    if (t < now_) t = now_;  // never schedule into the past
+    heap_.push(Item{t, seq_++, std::move(fn)});
+  }
+  void schedule_in(Cycle dt, Fn fn) { schedule(now_ + dt, std::move(fn)); }
+
+  Cycle now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Runs until the queue drains or `max_cycles` is crossed. Returns true if
+  /// drained; false on the cycle-limit safety stop.
+  bool run(Cycle max_cycles = kNeverCycle) {
+    while (!heap_.empty()) {
+      // Copy out before pop so the handler may schedule more events.
+      const Item& top = heap_.top();
+      if (top.t > max_cycles) return false;
+      now_ = top.t;
+      Fn fn = std::move(const_cast<Item&>(top).fn);
+      heap_.pop();
+      fn();
+    }
+    return true;
+  }
+
+  /// Executes events up to and including cycle `t`.
+  void run_until(Cycle t) {
+    while (!heap_.empty() && heap_.top().t <= t) {
+      const Item& top = heap_.top();
+      now_ = top.t;
+      Fn fn = std::move(const_cast<Item&>(top).fn);
+      heap_.pop();
+      fn();
+    }
+    if (now_ < t) now_ = t;
+  }
+
+ private:
+  struct Item {
+    Cycle t;
+    std::uint64_t seq;
+    Fn fn;
+    bool operator>(const Item& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
+  Cycle now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace atacsim

@@ -1,0 +1,113 @@
+#include "sim/machine.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace {
+atacsim::Addr trace_line() {
+  static const atacsim::Addr v = [] {
+    const char* e = std::getenv("ATACSIM_TRACE_LINE");
+    return e ? std::strtoull(e, nullptr, 16) : 0ull;
+  }();
+  return v;
+}
+}  // namespace
+
+namespace atacsim::sim {
+
+std::vector<CoreId> Machine::slice_cores(const MachineParams& mp) {
+  const net::MeshGeom g(mp);
+  std::vector<CoreId> cores;
+  cores.reserve(static_cast<std::size_t>(g.num_clusters()));
+  for (HubId h = 0; h < g.num_clusters(); ++h) cores.push_back(g.hub_core(h));
+  return cores;
+}
+
+mem::MemEnv Machine::make_env() {
+  mem::MemEnv env;
+  env.params = &mp_;
+  env.counters = &mem_counters_;
+  env.schedule = [this](Cycle t, std::function<void()> fn) {
+    events_.schedule(t, std::move(fn));
+  };
+  env.send = [this](Cycle t, const mem::CohMsg& m) { return send_msg(t, m); };
+  env.now_fn = [this] { return events_.now(); };
+  return env;
+}
+
+Machine::Machine(const MachineParams& mp)
+    : mp_(mp),
+      geom_(mp),
+      net_(net::make_network(mp)),
+      homes_(mp, slice_cores(mp)) {
+  mp_.validate();
+  caches_.reserve(static_cast<std::size_t>(mp_.num_cores));
+  for (CoreId c = 0; c < mp_.num_cores; ++c)
+    caches_.push_back(
+        std::make_unique<mem::CacheController>(c, make_env(), &homes_));
+  dirs_.reserve(static_cast<std::size_t>(geom_.num_clusters()));
+  for (HubId h = 0; h < geom_.num_clusters(); ++h)
+    dirs_.push_back(std::make_unique<mem::DirectorySlice>(
+        h, geom_.hub_core(h), make_env()));
+}
+
+void Machine::deliver(CoreId receiver, const mem::CohMsg& m, Cycle at) {
+  if ((trace_line() && m.line == trace_line()) ||
+      (std::getenv("ATACSIM_TRACE_INV") &&
+       (m.type == mem::CohType::kInvReq || m.type == mem::CohType::kInvAck))) {
+    std::fprintf(stderr, "[%llu] DLVR %s line=%llx ->core%d (from %d) seq=%u\n",
+                 (unsigned long long)at, mem::to_string(m.type),
+                 (unsigned long long)m.line, receiver, m.src, m.seq);
+  }
+  events_.schedule(at, [this, receiver, m] {
+    switch (m.type) {
+      case mem::CohType::kShReq:
+      case mem::CohType::kExReq:
+      case mem::CohType::kEvictNotify:
+      case mem::CohType::kDirtyWb:
+      case mem::CohType::kInvAck:
+      case mem::CohType::kFlushAck:
+      case mem::CohType::kWbAck: {
+        const HubId slice = m.dir_slice;
+        assert(slice >= 0 && geom_.hub_core(slice) == receiver);
+        dirs_[static_cast<std::size_t>(slice)]->handle(m);
+        break;
+      }
+      default:
+        caches_[static_cast<std::size_t>(receiver)]->handle(m);
+    }
+  });
+}
+
+Cycle Machine::send_msg(Cycle t, const mem::CohMsg& m) {
+  if ((trace_line() && m.line == trace_line()) ||
+      (std::getenv("ATACSIM_TRACE_INV") && m.type == mem::CohType::kInvReq)) {
+    std::fprintf(stderr, "[%llu] SEND %s line=%llx %d->%d req=%d seq=%u data=%d\n",
+                 (unsigned long long)t, mem::to_string(m.type),
+                 (unsigned long long)m.line, m.src, m.dst, m.requester, m.seq,
+                 (int)m.carries_data);
+  }
+  net::NetPacket p;
+  p.src = m.src;
+  p.dst = m.dst;
+  p.cls = m.carries_data ? net::MsgClass::kData : net::MsgClass::kCoherence;
+  const Cycle sender_free = net_->inject(
+      t, p, [this, m](CoreId r, Cycle at) { deliver(r, m, at); });
+  if (m.is_broadcast()) {
+    // Network broadcasts skip the source tile; the sender's co-located cache
+    // still receives the invalidation through a local loopback.
+    deliver(m.src, m, t + 2);
+  }
+  return sender_free;
+}
+
+bool Machine::quiescent() const {
+  for (const auto& c : caches_)
+    if (c->outstanding_misses() != 0) return false;
+  for (const auto& d : dirs_)
+    if (d->active_transactions() != 0) return false;
+  return true;
+}
+
+}  // namespace atacsim::sim

@@ -1,0 +1,70 @@
+// The Machine: wires the event queue, the selected network model, the
+// per-core cache controllers and the per-cluster directory slices (with
+// co-located memory controllers) into one simulated chip.
+//
+// This is the memory-system view of the machine; `core/` layers coroutine
+// execution contexts and the synchronization library on top.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/counters.hpp"
+#include "common/params.hpp"
+#include "memory/cache_controller.hpp"
+#include "memory/directory.hpp"
+#include "network/atac_model.hpp"
+#include "sim/event_queue.hpp"
+
+namespace atacsim::sim {
+
+class Machine {
+ public:
+  explicit Machine(const MachineParams& mp);
+
+  EventQueue& events() { return events_; }
+  const MachineParams& params() const { return mp_; }
+  const net::MeshGeom& geom() const { return geom_; }
+
+  mem::CacheController& cache(CoreId c) {
+    return *caches_[static_cast<std::size_t>(c)];
+  }
+  mem::DirectorySlice& directory(HubId s) {
+    return *dirs_[static_cast<std::size_t>(s)];
+  }
+  const mem::HomeMap& homes() const { return homes_; }
+
+  net::NetworkModel& network() { return *net_; }
+  /// Non-null when the machine runs the ATAC+ network.
+  net::AtacModel* atac() {
+    return dynamic_cast<net::AtacModel*>(net_.get());
+  }
+
+  NetCounters& net_counters() { return net_->counters(); }
+  MemCounters& mem_counters() { return mem_counters_; }
+
+  /// Drains the event queue; returns false if the safety cycle limit hit.
+  bool run(Cycle max_cycles = kNeverCycle) { return events_.run(max_cycles); }
+  Cycle now() const { return events_.now(); }
+
+  /// True if no coherence transaction or miss is outstanding anywhere —
+  /// the quiescence invariant the integration tests assert.
+  bool quiescent() const;
+
+ private:
+  Cycle send_msg(Cycle t, const mem::CohMsg& m);
+  void deliver(CoreId receiver, const mem::CohMsg& m, Cycle at);
+  mem::MemEnv make_env();
+  static std::vector<CoreId> slice_cores(const MachineParams& mp);
+
+  MachineParams mp_;
+  net::MeshGeom geom_;
+  EventQueue events_;
+  MemCounters mem_counters_;
+  std::unique_ptr<net::NetworkModel> net_;
+  mem::HomeMap homes_;
+  std::vector<std::unique_ptr<mem::CacheController>> caches_;
+  std::vector<std::unique_ptr<mem::DirectorySlice>> dirs_;
+};
+
+}  // namespace atacsim::sim

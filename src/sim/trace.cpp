@@ -1,0 +1,41 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+#include "sim/machine.hpp"
+
+namespace atacsim::sim {
+
+ReplayResult replay_trace(Machine& machine, const Trace& trace) {
+  ReplayResult r;
+  Cycle last_done = 0;
+  std::uint64_t outstanding = 0;
+
+  for (CoreId c = 0;
+       c < static_cast<CoreId>(trace.per_core.size()) &&
+       c < machine.params().num_cores;
+       ++c) {
+    Cycle t = 0;
+    for (const auto& rec : trace.per_core[static_cast<std::size_t>(c)]) {
+      t += rec.gap;
+      ++outstanding;
+      machine.events().schedule(t, [&machine, &last_done, &outstanding, c,
+                                    rec] {
+        machine.cache(c).access(rec.addr, rec.write,
+                                [&last_done, &outstanding](Cycle done) {
+                                  last_done = std::max(last_done, done);
+                                  --outstanding;
+                                });
+      });
+    }
+  }
+
+  machine.run();
+  r.completion_cycles = last_done;
+  r.net = machine.net_counters();
+  r.mem = machine.mem_counters();
+  (void)outstanding;
+  return r;
+}
+
+}  // namespace atacsim::sim

@@ -1,0 +1,80 @@
+// Trace capture and trace-driven replay.
+//
+// The paper's central methodological claim (Sec. I) is that trace-driven
+// and synthetic evaluations mislead because network delay does not
+// back-pressure the application. This module makes that claim testable in
+// this codebase: capture the memory-access trace of an execution-driven run,
+// then replay it open-loop (fixed inter-access gaps, no dependence on miss
+// completion) on a different network and compare against the true
+// execution-driven result (`abl_trace_vs_execution`).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/counters.hpp"
+#include "common/params.hpp"
+#include "common/types.hpp"
+
+namespace atacsim::sim {
+
+class Machine;
+
+/// One recorded memory access of one core.
+struct TraceRecord {
+  Addr addr = 0;
+  /// Core-local cycles of compute between the previous access's *issue* and
+  /// this one (the trace keeps issue gaps, not completion times — the whole
+  /// point is that completion times belong to the recorded machine).
+  std::uint32_t gap = 0;
+  bool write = false;
+};
+
+/// Per-core access streams captured from an execution-driven run.
+struct Trace {
+  std::vector<std::vector<TraceRecord>> per_core;
+  std::uint64_t total_records() const {
+    std::uint64_t n = 0;
+    for (const auto& v : per_core) n += v.size();
+    return n;
+  }
+};
+
+/// Observes accesses during an execution-driven run. Wire it into CoreCtx
+/// via Program::set_tracer (one recorder per run).
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(int num_cores) : trace_() {
+    trace_.per_core.resize(static_cast<std::size_t>(num_cores));
+  }
+  void record(CoreId core, Addr addr, bool write, Cycle local_now) {
+    auto& v = trace_.per_core[static_cast<std::size_t>(core)];
+    auto& last = last_issue_[static_cast<std::size_t>(core)];
+    const std::uint64_t gap = local_now - std::min<Cycle>(local_now, last);
+    v.push_back({addr, static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                           gap, 0xFFFFFFFFull)),
+                 write});
+    last = local_now;
+  }
+  void resize_last_issue(int num_cores) {
+    last_issue_.assign(static_cast<std::size_t>(num_cores), 0);
+  }
+  Trace take() { return std::move(trace_); }
+
+ private:
+  Trace trace_;
+  std::vector<Cycle> last_issue_;
+};
+
+struct ReplayResult {
+  Cycle completion_cycles = 0;
+  NetCounters net;
+  MemCounters mem;
+};
+
+/// Replays `trace` on `machine` open-loop: each core issues its accesses at
+/// recorded gaps regardless of when earlier misses complete (classic
+/// trace-driven methodology). Completion is when the last access commits.
+ReplayResult replay_trace(Machine& machine, const Trace& trace);
+
+}  // namespace atacsim::sim

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace atacsim {
+namespace {
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro256, NextBelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_below(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(Xoshiro256, NextBelowIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  std::array<int, 8> hist{};
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++hist[rng.next_below(8)];
+  for (int h : hist) {
+    EXPECT_NEAR(h, n / 8, 5 * std::sqrt(n / 8.0));
+  }
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, BernoulliMatchesProbability) {
+  Xoshiro256 rng(5);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.1)) ++hits;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.1, 0.01);
+}
+
+}  // namespace
+}  // namespace atacsim

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "harness/cache.hpp"
+#include "harness/runner.hpp"
+
+namespace atacsim::harness {
+namespace {
+
+Scenario small_scenario(const char* app = "radix") {
+  Scenario s;
+  s.app = app;
+  s.mp = MachineParams::small(8, 2);
+  s.scale = 0.05;
+  return s;
+}
+
+TEST(Runner, RunsAndVerifiesSmallScenario) {
+  const auto o = run_scenario(small_scenario());
+  EXPECT_TRUE(o.finished);
+  EXPECT_EQ(o.verify_msg, "");
+  EXPECT_GT(o.run.completion_cycles, 0u);
+  EXPECT_GT(o.energy.chip_no_core(), 0.0);
+  EXPECT_GT(o.edp(), 0.0);
+}
+
+TEST(Runner, ConfigNames) {
+  EXPECT_EQ(config_name(atac_plus()), "ATAC+");
+  EXPECT_EQ(config_name(atac_plus(PhotonicFlavor::kCons)), "ATAC+(Cons)");
+  EXPECT_EQ(config_name(emesh_bcast()), "EMesh-BCast");
+  EXPECT_EQ(config_name(emesh_pure()), "EMesh-Pure");
+}
+
+TEST(Runner, StandardConfigsAreThePaperMachine) {
+  EXPECT_EQ(atac_plus().num_cores, 1024);
+  EXPECT_EQ(atac_plus().routing, RoutingPolicy::kDistance);
+  EXPECT_EQ(atac_plus().r_thres, 15);
+  EXPECT_EQ(emesh_bcast().network, NetworkKind::kEMeshBCast);
+}
+
+TEST(ScenarioKey, DistinguishesSimulationRelevantFields) {
+  auto a = small_scenario();
+  auto b = a;
+  EXPECT_EQ(scenario_key(a), scenario_key(b));
+  b.mp.r_thres = 7;
+  EXPECT_NE(scenario_key(a), scenario_key(b));
+  b = a;
+  b.mp.coherence = CoherenceKind::kDirKB;
+  EXPECT_NE(scenario_key(a), scenario_key(b));
+  b = a;
+  b.mp.flit_bits = 128;
+  EXPECT_NE(scenario_key(a), scenario_key(b));
+  b = a;
+  b.scale = 0.1;
+  EXPECT_NE(scenario_key(a), scenario_key(b));
+  // Photonic flavour is energy-only: same key, cached run reused.
+  b = a;
+  b.mp.photonics = PhotonicFlavor::kCons;
+  EXPECT_EQ(scenario_key(a), scenario_key(b));
+}
+
+TEST(Cache, RoundTripsCountersExactly) {
+  const auto dir = std::filesystem::temp_directory_path() / "atacsim_cache_t";
+  std::filesystem::remove_all(dir);
+  setenv("ATACSIM_CACHE", dir.c_str(), 1);
+
+  const auto fresh = run_scenario_cached(small_scenario());
+  const auto cached = run_scenario_cached(small_scenario());
+  unsetenv("ATACSIM_CACHE");
+
+  EXPECT_EQ(fresh.run.completion_cycles, cached.run.completion_cycles);
+  EXPECT_EQ(fresh.run.total_instructions, cached.run.total_instructions);
+  EXPECT_EQ(fresh.run.net.flits_injected, cached.run.net.flits_injected);
+  EXPECT_EQ(fresh.run.mem.dram_reads, cached.run.mem.dram_reads);
+  EXPECT_DOUBLE_EQ(fresh.energy.chip_no_core(), cached.energy.chip_no_core());
+  // Cached path is a file read, not a multi-second simulation.
+  EXPECT_LT(cached.wall_seconds + 0.0, fresh.wall_seconds + 1.0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cache, FlavorChangesEnergyWithoutResimulation) {
+  const auto dir = std::filesystem::temp_directory_path() / "atacsim_cache_f";
+  std::filesystem::remove_all(dir);
+  setenv("ATACSIM_CACHE", dir.c_str(), 1);
+
+  auto s = small_scenario();
+  s.mp.photonics = PhotonicFlavor::kDefault;
+  const auto def = run_scenario_cached(s);
+  s.mp.photonics = PhotonicFlavor::kCons;
+  const auto cons = run_scenario_cached(s);
+  unsetenv("ATACSIM_CACHE");
+
+  EXPECT_EQ(def.run.completion_cycles, cons.run.completion_cycles);
+  EXPECT_GT(cons.energy.laser, def.energy.laser);
+  EXPECT_GT(cons.energy.ring_tuning, 0.0);
+  EXPECT_DOUBLE_EQ(def.energy.ring_tuning, 0.0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Runner, RecomputeEnergyRespondsToWaveguideLoss) {
+  const auto o = run_scenario(small_scenario());
+  const auto mp = small_scenario().mp;
+  TechBundle lo, hi;
+  hi.photonics.waveguide_loss_dB_per_cm = 4.0;
+  const auto elo = recompute_energy(o, mp, lo);
+  const auto ehi = recompute_energy(o, mp, hi);
+  EXPECT_GT(ehi.laser, elo.laser);
+}
+
+}  // namespace
+}  // namespace atacsim::harness

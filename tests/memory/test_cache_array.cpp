@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "memory/cache_array.hpp"
+
+namespace atacsim::mem {
+namespace {
+
+TEST(CacheArray, MissThenHit) {
+  CacheArray c(32, 4, 64);
+  EXPECT_EQ(c.lookup(0x1000), LineState::kInvalid);
+  c.install(0x1000, LineState::kShared);
+  EXPECT_EQ(c.lookup(0x1000), LineState::kShared);
+  EXPECT_EQ(c.peek(0x1040), LineState::kInvalid);
+}
+
+TEST(CacheArray, LineAlignment) {
+  CacheArray c(32, 4, 64);
+  EXPECT_EQ(c.line_of(0x1234), 0x1200u);
+  EXPECT_EQ(c.line_of(0x1200), 0x1200u);
+  EXPECT_EQ(c.line_of(0x123F), 0x1200u);
+}
+
+TEST(CacheArray, LruEvictsLeastRecentlyUsed) {
+  CacheArray c(1, 4, 64);  // 1 KB, 4-way, 64 B lines -> 4 sets
+  // Fill one set: addresses with the same set index (stride = sets*line).
+  const Addr stride = 4 * 64;
+  for (Addr i = 0; i < 4; ++i)
+    EXPECT_FALSE(c.install(0x10000 + i * stride, LineState::kShared));
+  // Touch line 0 so line 1 becomes LRU.
+  c.lookup(0x10000);
+  auto victim = c.install(0x10000 + 4 * stride, LineState::kShared);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->line, 0x10000 + 1 * stride);
+}
+
+TEST(CacheArray, InstallOnPresentLineUpdatesState) {
+  CacheArray c(32, 4, 64);
+  c.install(0x2000, LineState::kShared);
+  EXPECT_FALSE(c.install(0x2000, LineState::kModified).has_value());
+  EXPECT_EQ(c.peek(0x2000), LineState::kModified);
+  EXPECT_EQ(c.occupancy(), 1);
+}
+
+TEST(CacheArray, InvalidateReturnsPreviousState) {
+  CacheArray c(32, 4, 64);
+  c.install(0x3000, LineState::kModified);
+  EXPECT_EQ(c.invalidate(0x3000), LineState::kModified);
+  EXPECT_EQ(c.invalidate(0x3000), LineState::kInvalid);
+  EXPECT_EQ(c.occupancy(), 0);
+}
+
+TEST(CacheArray, SetStateOnAbsentLineIsNoop) {
+  CacheArray c(32, 4, 64);
+  c.set_state(0x4000, LineState::kModified);
+  EXPECT_EQ(c.peek(0x4000), LineState::kInvalid);
+}
+
+TEST(CacheArray, GeometryValidation) {
+  EXPECT_THROW(CacheArray(1, 7, 64), std::invalid_argument);
+  const CacheArray c(256, 8, 64);
+  EXPECT_EQ(c.num_lines(), 4096);
+  EXPECT_EQ(c.num_sets(), 512);
+}
+
+TEST(CacheArray, DistinctSetsDoNotConflict) {
+  CacheArray c(1, 1, 64);  // direct-mapped, 16 sets
+  for (Addr i = 0; i < 16; ++i)
+    EXPECT_FALSE(c.install(i * 64, LineState::kShared).has_value());
+  EXPECT_EQ(c.occupancy(), 16);
+  // 17th line aliases set 0.
+  auto v = c.install(16 * 64, LineState::kShared);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->line, 0u);
+}
+
+}  // namespace
+}  // namespace atacsim::mem

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "memory/directory.hpp"
+#include "memory/protocol.hpp"
+
+namespace atacsim::mem {
+namespace {
+
+TEST(SharerSet, TracksPointersUpToK) {
+  SharerSet s(4);
+  for (CoreId c : {1, 2, 3, 4}) s.add(c);
+  EXPECT_FALSE(s.global());
+  EXPECT_EQ(s.count(), 4);
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_FALSE(s.contains(9));
+}
+
+TEST(SharerSet, AddIsIdempotent) {
+  SharerSet s(4);
+  s.add(7);
+  s.add(7);
+  EXPECT_EQ(s.count(), 1);
+}
+
+TEST(SharerSet, OverflowSetsGlobalBitWithExactCount) {
+  SharerSet s(4);
+  for (CoreId c : {1, 2, 3, 4, 5}) s.add(c);
+  EXPECT_TRUE(s.global());
+  EXPECT_EQ(s.count(), 5);
+  EXPECT_TRUE(s.pointers().empty());
+  s.add(6);
+  EXPECT_EQ(s.count(), 6);
+}
+
+TEST(SharerSet, RemoveMaintainsCountUnderGlobal) {
+  SharerSet s(2);
+  for (CoreId c : {1, 2, 3}) s.add(c);
+  ASSERT_TRUE(s.global());
+  EXPECT_TRUE(s.remove(1));
+  EXPECT_EQ(s.count(), 2);
+  EXPECT_TRUE(s.remove(2));
+  EXPECT_TRUE(s.remove(3));
+  EXPECT_FALSE(s.remove(4));  // count exhausted
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SharerSet, RemoveUnknownPointerReturnsFalse) {
+  SharerSet s(4);
+  s.add(1);
+  EXPECT_FALSE(s.remove(2));
+  EXPECT_EQ(s.count(), 1);
+}
+
+TEST(SharerSet, ClearResetsEverything) {
+  SharerSet s(1);
+  s.add(1);
+  s.add(2);
+  ASSERT_TRUE(s.global());
+  s.clear();
+  EXPECT_FALSE(s.global());
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SeqCompare, BasicOrdering) {
+  EXPECT_TRUE(seq_before(1, 2));
+  EXPECT_FALSE(seq_before(2, 1));
+  EXPECT_FALSE(seq_before(5, 5));
+  EXPECT_TRUE(seq_before_eq(5, 5));
+}
+
+TEST(SeqCompare, WrapAround) {
+  // TCP-style: 0xFFFF precedes 0x0001 across the wrap.
+  EXPECT_TRUE(seq_before(0xFFFF, 0x0001));
+  EXPECT_FALSE(seq_before(0x0001, 0xFFFF));
+  EXPECT_TRUE(seq_before_eq(0xFFFE, 0x0002));
+}
+
+}  // namespace
+}  // namespace atacsim::mem

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "network/mesh_geom.hpp"
+
+namespace atacsim::net {
+namespace {
+
+TEST(MeshGeom, CoordinateRoundTrip) {
+  const MeshGeom g(MachineParams::paper());
+  for (CoreId c : {0, 31, 32, 511, 1023}) {
+    EXPECT_EQ(g.core_at(g.x(c), g.y(c)), c);
+  }
+}
+
+TEST(MeshGeom, ManhattanDistance) {
+  const MeshGeom g(MachineParams::paper());
+  EXPECT_EQ(g.manhattan(0, 0), 0);
+  EXPECT_EQ(g.manhattan(0, 31), 31);              // across the top row
+  EXPECT_EQ(g.manhattan(0, 1023), 62);            // corner to corner
+  EXPECT_EQ(g.manhattan(g.core_at(3, 4), g.core_at(7, 1)), 7);
+}
+
+TEST(MeshGeom, ClusterMapping) {
+  const MeshGeom g(MachineParams::paper());
+  EXPECT_EQ(g.num_clusters(), 64);
+  // Core (0,0) and (3,3) share cluster 0; (4,0) is cluster 1.
+  EXPECT_EQ(g.cluster_of(g.core_at(0, 0)), 0);
+  EXPECT_EQ(g.cluster_of(g.core_at(3, 3)), 0);
+  EXPECT_EQ(g.cluster_of(g.core_at(4, 0)), 1);
+  EXPECT_TRUE(g.same_cluster(g.core_at(0, 0), g.core_at(3, 3)));
+  EXPECT_FALSE(g.same_cluster(g.core_at(3, 0), g.core_at(4, 0)));
+}
+
+TEST(MeshGeom, EveryCoreBelongsToExactlyOneCluster) {
+  const MeshGeom g(MachineParams::paper());
+  std::vector<int> count(64, 0);
+  for (CoreId c = 0; c < g.num_cores(); ++c)
+    ++count[static_cast<std::size_t>(g.cluster_of(c))];
+  for (int k : count) EXPECT_EQ(k, 16);
+}
+
+TEST(MeshGeom, HubSitsInsideItsCluster) {
+  const MeshGeom g(MachineParams::paper());
+  for (HubId h = 0; h < g.num_clusters(); ++h) {
+    EXPECT_EQ(g.cluster_of(g.hub_core(h)), h);
+  }
+}
+
+TEST(MeshGeom, SmallMachineGeometry) {
+  const MeshGeom g(MachineParams::small(8, 2));
+  EXPECT_EQ(g.num_cores(), 64);
+  EXPECT_EQ(g.num_clusters(), 16);
+  for (HubId h = 0; h < g.num_clusters(); ++h)
+    EXPECT_EQ(g.cluster_of(g.hub_core(h)), h);
+}
+
+}  // namespace
+}  // namespace atacsim::net

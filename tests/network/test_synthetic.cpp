@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "network/atac_model.hpp"
+#include "network/synthetic.hpp"
+
+namespace atacsim::net {
+namespace {
+
+MachineParams small_atac(RoutingPolicy pol, int r = 4) {
+  auto p = MachineParams::small(8, 2);
+  p.network = NetworkKind::kAtacPlus;
+  p.routing = pol;
+  p.r_thres = r;
+  return p;
+}
+
+SyntheticConfig light() {
+  SyntheticConfig c;
+  c.offered_load = 0.01;
+  c.warmup_cycles = 2000;
+  c.measure_cycles = 8000;
+  return c;
+}
+
+TEST(Synthetic, DeterministicAcrossRuns) {
+  const auto mp = small_atac(RoutingPolicy::kCluster);
+  AtacModel a(mp), b(mp);
+  const auto ra = run_synthetic(a, a.geom(), light());
+  const auto rb = run_synthetic(b, b.geom(), light());
+  EXPECT_EQ(ra.packets_measured, rb.packets_measured);
+  EXPECT_DOUBLE_EQ(ra.avg_latency_cycles, rb.avg_latency_cycles);
+}
+
+TEST(Synthetic, AcceptedLoadTracksOfferedBelowSaturation) {
+  const auto mp = small_atac(RoutingPolicy::kDistance, 4);
+  AtacModel m(mp);
+  auto cfg = light();
+  cfg.offered_load = 0.02;
+  const auto r = run_synthetic(m, m.geom(), cfg);
+  EXPECT_NEAR(r.accepted_flits_per_cycle_per_core, 0.02, 0.004);
+}
+
+TEST(Synthetic, LatencyRisesWithLoad) {
+  const auto mp = small_atac(RoutingPolicy::kCluster);
+  double prev = 0;
+  for (double load : {0.005, 0.05, 0.12}) {
+    AtacModel m(mp);
+    auto cfg = light();
+    cfg.offered_load = load;
+    const auto r = run_synthetic(m, m.geom(), cfg);
+    EXPECT_GT(r.avg_latency_cycles, prev);
+    prev = r.avg_latency_cycles;
+  }
+}
+
+TEST(Synthetic, ClusterPolicySaturatesBeforeDistance) {
+  // Under heavy uniform-random load the Cluster policy funnels everything
+  // through the per-hub SWMR channels; distance-based routing offloads short
+  // trips to the ENet and keeps latency bounded longer (paper Fig. 3).
+  auto heavy = light();
+  heavy.offered_load = 0.30;
+  heavy.warmup_cycles = 1000;
+  heavy.measure_cycles = 6000;
+
+  AtacModel cluster(small_atac(RoutingPolicy::kCluster));
+  AtacModel distance(small_atac(RoutingPolicy::kDistance, 6));
+  const auto rc = run_synthetic(cluster, cluster.geom(), heavy);
+  const auto rd = run_synthetic(distance, distance.geom(), heavy);
+  EXPECT_GT(rc.avg_latency_cycles, 1.5 * rd.avg_latency_cycles);
+}
+
+TEST(Synthetic, BroadcastFractionGeneratesBroadcasts) {
+  const auto mp = small_atac(RoutingPolicy::kCluster);
+  AtacModel m(mp);
+  auto cfg = light();
+  cfg.bcast_fraction = 0.05;
+  run_synthetic(m, m.geom(), cfg);
+  EXPECT_GT(m.counters().bcast_packets, 0u);
+  const double frac =
+      static_cast<double>(m.counters().bcast_packets) /
+      static_cast<double>(m.counters().bcast_packets +
+                          m.counters().unicast_packets);
+  EXPECT_NEAR(frac, 0.05, 0.02);
+}
+
+TEST(Synthetic, ZeroLoadProducesNoPackets) {
+  const auto mp = small_atac(RoutingPolicy::kCluster);
+  AtacModel m(mp);
+  auto cfg = light();
+  cfg.offered_load = 0.0;
+  const auto r = run_synthetic(m, m.geom(), cfg);
+  EXPECT_EQ(r.packets_measured, 0u);
+}
+
+}  // namespace
+}  // namespace atacsim::net

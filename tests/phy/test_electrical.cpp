@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "phy/electrical_energy.hpp"
+
+namespace atacsim::phy {
+namespace {
+
+TriGateModel dev() { return TriGateModel(TechParams{}); }
+
+TEST(RouterEnergy, WiderFlitsCostMore) {
+  const RouterEnergyModel r64(dev(), 5, 64);
+  const RouterEnergyModel r256(dev(), 5, 256);
+  EXPECT_GT(r256.per_flit_pJ(), r64.per_flit_pJ() * 3.5);
+  EXPECT_GT(r256.leakage_mW(), r64.leakage_mW());
+  EXPECT_GT(r256.area_mm2(), r64.area_mm2());
+}
+
+TEST(RouterEnergy, MorePortsCostMore) {
+  const RouterEnergyModel r5(dev(), 5, 64);
+  const RouterEnergyModel r8(dev(), 8, 64);
+  EXPECT_GT(r8.per_flit_pJ(), r5.per_flit_pJ());
+  EXPECT_GT(r8.leakage_mW(), r5.leakage_mW());
+}
+
+TEST(RouterEnergy, PlausibleMagnitudeAt11nm) {
+  const RouterEnergyModel r(dev(), 5, 64);
+  // A 64-bit 5-port router at 11 nm should cost on the order of 0.05-5 pJ
+  // per flit and leak microwatts (HVT).
+  EXPECT_GT(r.per_flit_pJ(), 0.01);
+  EXPECT_LT(r.per_flit_pJ(), 5.0);
+  EXPECT_GT(r.leakage_mW(), 0.0);
+  EXPECT_LT(r.leakage_mW(), 1.0);
+  EXPECT_GT(r.clock_mW(1.0), 0.0);
+}
+
+TEST(LinkEnergy, ScalesWithLengthAndWidth) {
+  const LinkEnergyModel a(dev(), 0.5, 64);
+  const LinkEnergyModel b(dev(), 1.0, 64);
+  const LinkEnergyModel c(dev(), 0.5, 128);
+  EXPECT_NEAR(b.per_flit_pJ(), 2 * a.per_flit_pJ(), 1e-9);
+  EXPECT_NEAR(c.per_flit_pJ(), 2 * a.per_flit_pJ(), 1e-9);
+  EXPECT_GT(b.area_mm2(), a.area_mm2());
+}
+
+TEST(LinkEnergy, TileLinkMagnitude) {
+  // 0.58 mm tile-to-tile 64-bit link: ~1 pJ/flit at 11 nm projections.
+  const LinkEnergyModel l(dev(), 0.58, 64);
+  EXPECT_GT(l.per_flit_pJ(), 0.2);
+  EXPECT_LT(l.per_flit_pJ(), 5.0);
+}
+
+}  // namespace
+}  // namespace atacsim::phy

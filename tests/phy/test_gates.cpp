@@ -1,0 +1,117 @@
+// Gate / repeated-wire / SRAM structured-model tests, including the
+// cross-check of the calibrated coarse models against this detailed layer.
+#include <gtest/gtest.h>
+
+#include "phy/electrical_energy.hpp"
+#include "power/cache_model.hpp"
+#include "phy/gates.hpp"
+
+namespace atacsim::phy {
+namespace {
+
+StdCellLib lib() { return StdCellLib(TriGateModel(TechParams{})); }
+
+TEST(StdCells, InverterBasics) {
+  const auto l = lib();
+  const Gate g1 = l.inv(1);
+  const Gate g4 = l.inv(4);
+  EXPECT_NEAR(g4.input_cap_fF, 4 * g1.input_cap_fF, 1e-12);
+  EXPECT_GT(l.tau_ps(), 0.0);
+  EXPECT_LT(l.tau_ps(), 10.0);  // 11 nm FO1 is sub-ps to few-ps
+}
+
+TEST(StdCells, LogicalEffortOrdering) {
+  const auto l = lib();
+  EXPECT_GT(l.nand2().logical_effort, l.inv().logical_effort);
+  EXPECT_GT(l.nor2().logical_effort, l.nand2().logical_effort);
+}
+
+TEST(StdCells, DelayGrowsWithLoad) {
+  const auto l = lib();
+  const Gate g = l.inv(2);
+  EXPECT_LT(l.gate_delay_ps(g, 1.0), l.gate_delay_ps(g, 10.0));
+}
+
+TEST(StdCells, LeakageScalesWithWidth) {
+  const auto l = lib();
+  EXPECT_NEAR(l.leakage_uW(l.inv(8)), 8 * l.leakage_uW(l.inv(1)), 1e-12);
+}
+
+TEST(RepeatedWire, LongerWiresNeedMoreRepeaters) {
+  const auto l = lib();
+  const RepeatedWire w1(l, 1.0, 180.0);
+  const RepeatedWire w10(l, 10.0, 180.0);
+  EXPECT_GE(w10.num_repeaters(), w1.num_repeaters());
+  EXPECT_GT(w10.delay_ps(), w1.delay_ps());
+  EXPECT_GT(w10.energy_fJ_per_bit(), 5 * w1.energy_fJ_per_bit());
+}
+
+TEST(RepeatedWire, DelayIsNearLinearWhenRepeated) {
+  // Repeater insertion linearizes the quadratic RC delay.
+  const auto l = lib();
+  const double d2 = RepeatedWire(l, 2.0, 180.0).delay_ps();
+  const double d8 = RepeatedWire(l, 8.0, 180.0).delay_ps();
+  EXPECT_NEAR(d8 / d2, 4.0, 1.5);
+}
+
+TEST(RepeatedWire, CoarseLinkModelAgreesWithinFactorTwo) {
+  // The calibrated LinkEnergyModel (used everywhere) must sit within ~2x of
+  // the structured repeated-wire energy for a tile-length 64-bit link.
+  const TriGateModel dev{TechParams{}};
+  const auto l = lib();
+  const RepeatedWire w(l, 0.58, TechParams{}.wire_cap_fF_per_mm);
+  const LinkEnergyModel coarse(dev, 0.58, 64);
+  const double detailed_pJ = w.energy_fJ_per_bit() * 64 * 1e-3;
+  EXPECT_GT(coarse.per_flit_pJ(), detailed_pJ / 2.0);
+  EXPECT_LT(coarse.per_flit_pJ(), detailed_pJ * 2.0);
+}
+
+TEST(Sram, BiggerArraysCostMore) {
+  const auto l = lib();
+  const SramMacro small(l, 128, 256);
+  const SramMacro big(l, 1024, 256);
+  EXPECT_GT(big.read_energy_fJ(64), small.read_energy_fJ(64));
+  EXPECT_GT(big.leakage_uW(), 5 * small.leakage_uW());
+  // Periphery dominates small arrays; the 8x cell-count ratio shows
+  // up as ~3x total.
+  EXPECT_GT(big.area_um2(), 2.5 * small.area_um2());
+}
+
+TEST(Sram, SubarraySegmentationBoundsBitlineEnergy) {
+  const auto l = lib();
+  // Without segmentation a 4096-row bitline would dominate; with 128-row
+  // subarrays the per-bit read energy is bounded.
+  const SramMacro seg(l, 4096, 64, 128);
+  const SramMacro flat(l, 4096, 64, 4096);
+  EXPECT_EQ(seg.num_subarrays(), 32);
+  EXPECT_LT(seg.read_energy_fJ(64), flat.read_energy_fJ(64));
+}
+
+TEST(Sram, WritesCostMoreThanReads) {
+  const auto l = lib();
+  const SramMacro m(l, 512, 256);
+  EXPECT_GT(m.write_energy_fJ(64), m.read_energy_fJ(64) * 0.8);
+}
+
+TEST(Sram, L1SizedMacroMatchesCoarseCacheModelWithinFactorThree) {
+  // 32 KB, 64 B lines: 512 rows x 512 cols organization.
+  const auto l = lib();
+  const SramMacro detailed(l, 512, 512, 128);
+  // Coarse model word-read (64 bits + tags) energy:
+  const TriGateModel dev{TechParams{}};
+  const power::CacheEnergyModel coarse(dev, {32, 4, 64, 64, 36});
+  const double detailed_pJ = detailed.read_energy_fJ(64 + 4 * 36) * 1e-3;
+  EXPECT_GT(coarse.read_pJ(), detailed_pJ / 3.0);
+  EXPECT_LT(coarse.read_pJ(), detailed_pJ * 3.0);
+}
+
+TEST(Sram, AccessDelayPlausible) {
+  const auto l = lib();
+  const SramMacro m(l, 512, 512, 128);
+  // An 11 nm 32 KB array reads in a fraction of a 1 GHz cycle.
+  EXPECT_GT(m.access_delay_ps(), 5.0);
+  EXPECT_LT(m.access_delay_ps(), 1000.0);
+}
+
+}  // namespace
+}  // namespace atacsim::phy

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "phy/optical_link.hpp"
+
+namespace atacsim::phy {
+namespace {
+
+OnetGeometry paper_geom() {
+  return OnetGeometry::from(MachineParams::paper());
+}
+
+TEST(OnetGeometry, PaperScale) {
+  const auto g = paper_geom();
+  EXPECT_EQ(g.num_hubs, 64);
+  EXPECT_EQ(g.data_width_bits, 64);
+  EXPECT_EQ(g.select_width_bits, 6);  // log2(64)
+  EXPECT_GT(g.ring_length_cm, 5.0);
+  EXPECT_LT(g.ring_length_cm, 30.0);
+}
+
+TEST(PhotonicLink, RingCensusMatchesPaperScale) {
+  PhotonicParams pp;
+  const PhotonicLinkModel m(pp, paper_geom(), PhotonicFlavor::kDefault);
+  // The paper quotes ~260K rings in ATAC+.
+  EXPECT_GT(m.total_rings(), 200000);
+  EXPECT_LT(m.total_rings(), 330000);
+}
+
+TEST(PhotonicLink, BroadcastNeedsMorePowerThanUnicast) {
+  PhotonicParams pp;
+  const PhotonicLinkModel m(pp, paper_geom(), PhotonicFlavor::kDefault);
+  EXPECT_GT(m.laser_broadcast_mW(), 5.0 * m.laser_unicast_mW());
+}
+
+TEST(PhotonicLink, AthermalFlavorsHaveNoTuningPower) {
+  PhotonicParams pp;
+  const PhotonicLinkModel ideal(pp, paper_geom(), PhotonicFlavor::kIdeal);
+  const PhotonicLinkModel def(pp, paper_geom(), PhotonicFlavor::kDefault);
+  const PhotonicLinkModel tuned(pp, paper_geom(), PhotonicFlavor::kRingTuned);
+  const PhotonicLinkModel cons(pp, paper_geom(), PhotonicFlavor::kCons);
+  EXPECT_DOUBLE_EQ(ideal.tuning_power_W(), 0.0);
+  EXPECT_DOUBLE_EQ(def.tuning_power_W(), 0.0);
+  EXPECT_GT(tuned.tuning_power_W(), 1.0);  // ~260K rings x tens of uW
+  EXPECT_DOUBLE_EQ(tuned.tuning_power_W(), cons.tuning_power_W());
+}
+
+TEST(PhotonicLink, OnlyConsLosesPowerGating) {
+  PhotonicParams pp;
+  EXPECT_TRUE(PhotonicLinkModel(pp, paper_geom(), PhotonicFlavor::kIdeal)
+                  .laser_power_gated());
+  EXPECT_TRUE(PhotonicLinkModel(pp, paper_geom(), PhotonicFlavor::kDefault)
+                  .laser_power_gated());
+  EXPECT_TRUE(PhotonicLinkModel(pp, paper_geom(), PhotonicFlavor::kRingTuned)
+                  .laser_power_gated());
+  EXPECT_FALSE(PhotonicLinkModel(pp, paper_geom(), PhotonicFlavor::kCons)
+                   .laser_power_gated());
+}
+
+TEST(PhotonicLink, IdealLaserIsCheaperThanPractical) {
+  PhotonicParams pp;
+  const PhotonicLinkModel ideal(pp, paper_geom(), PhotonicFlavor::kIdeal);
+  const PhotonicLinkModel def(pp, paper_geom(), PhotonicFlavor::kDefault);
+  EXPECT_LT(ideal.laser_broadcast_mW(), def.laser_broadcast_mW());
+  EXPECT_LT(ideal.laser_unicast_mW(), def.laser_unicast_mW());
+}
+
+TEST(PhotonicLink, HigherWaveguideLossNeedsMoreLaserPower) {
+  PhotonicParams lo;
+  PhotonicParams hi = lo;
+  hi.waveguide_loss_dB_per_cm = 4.0;
+  const PhotonicLinkModel mlo(lo, paper_geom(), PhotonicFlavor::kDefault);
+  const PhotonicLinkModel mhi(hi, paper_geom(), PhotonicFlavor::kDefault);
+  EXPECT_GT(mhi.laser_unicast_mW(), 3.0 * mlo.laser_unicast_mW());
+}
+
+TEST(PhotonicLink, NonlinearityRespectedAtDefaultLoss) {
+  PhotonicParams pp;
+  const PhotonicLinkModel m(pp, paper_geom(), PhotonicFlavor::kDefault);
+  EXPECT_TRUE(m.within_nonlinearity_limit())
+      << "launch power " << m.max_waveguide_power_mW() << " mW";
+}
+
+TEST(PhotonicLink, OpticalAreaMatchesPaperBallpark) {
+  PhotonicParams pp;
+  const PhotonicLinkModel m(pp, paper_geom(), PhotonicFlavor::kDefault);
+  // Paper: ~40 mm^2 at 64-bit flit width.
+  EXPECT_GT(m.optical_area_mm2(), 20.0);
+  EXPECT_LT(m.optical_area_mm2(), 80.0);
+}
+
+TEST(PhotonicLink, OpticalAreaScalesWithFlitWidth) {
+  PhotonicParams pp;
+  auto mp = MachineParams::paper();
+  const PhotonicLinkModel m64(pp, OnetGeometry::from(mp),
+                              PhotonicFlavor::kDefault);
+  mp.flit_bits = 256;
+  const PhotonicLinkModel m256(pp, OnetGeometry::from(mp),
+                               PhotonicFlavor::kDefault);
+  // Paper: ~40 mm^2 -> ~160 mm^2 going 64 -> 256 bits.
+  const double ratio = m256.optical_area_mm2() / m64.optical_area_mm2();
+  EXPECT_GT(ratio, 3.2);
+  EXPECT_LT(ratio, 4.3);
+}
+
+}  // namespace
+}  // namespace atacsim::phy

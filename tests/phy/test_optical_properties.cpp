@@ -1,0 +1,111 @@
+// Property-style sweeps over the photonic link model: monotonicity of the
+// laser-power solver in every Table-II parameter, and scaling laws of the
+// ring census and optical area.
+#include <gtest/gtest.h>
+
+#include "phy/optical_link.hpp"
+
+namespace atacsim::phy {
+namespace {
+
+OnetGeometry geom() { return OnetGeometry::from(MachineParams::paper()); }
+
+double bcast_mW(const PhotonicParams& pp) {
+  return PhotonicLinkModel(pp, geom(), PhotonicFlavor::kDefault)
+      .laser_broadcast_mW();
+}
+
+class LossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossSweep, LaserPowerStrictlyIncreasesWithEachLossTerm) {
+  const double mag = GetParam();
+  PhotonicParams base;
+  {
+    auto pp = base;
+    pp.waveguide_loss_dB_per_cm = base.waveguide_loss_dB_per_cm + mag;
+    EXPECT_GT(bcast_mW(pp), bcast_mW(base));
+  }
+  {
+    auto pp = base;
+    pp.ring_drop_loss_dB = base.ring_drop_loss_dB + mag;
+    EXPECT_GT(bcast_mW(pp), bcast_mW(base));
+  }
+  {
+    auto pp = base;
+    pp.coupling_loss_dB = base.coupling_loss_dB + mag;
+    EXPECT_GT(bcast_mW(pp), bcast_mW(base));
+  }
+  {
+    auto pp = base;
+    pp.ring_through_loss_dB = base.ring_through_loss_dB + mag / 100.0;
+    EXPECT_GT(bcast_mW(pp), bcast_mW(base));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, LossSweep,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0));
+
+TEST(PhotonicProperties, LaserPowerInverseInEfficiency) {
+  PhotonicParams lo, hi;
+  lo.laser_efficiency = 0.15;
+  hi.laser_efficiency = 0.60;
+  EXPECT_NEAR(bcast_mW(lo) / bcast_mW(hi), 4.0, 1e-6);
+}
+
+TEST(PhotonicProperties, LaserPowerLinearInSensitivity) {
+  PhotonicParams a, b;
+  a.detector_sensitivity_uW = 1.0;
+  b.detector_sensitivity_uW = 2.0;
+  EXPECT_NEAR(bcast_mW(b) / bcast_mW(a), 2.0, 1e-9);
+}
+
+TEST(PhotonicProperties, RingCensusScalesWithHubsSquaredAndWidth) {
+  PhotonicParams pp;
+  auto mp64 = MachineParams::paper();  // 64 hubs
+  const PhotonicLinkModel big(pp, OnetGeometry::from(mp64),
+                              PhotonicFlavor::kDefault);
+  const auto mp16 = MachineParams::small(16, 4);  // 16 hubs
+  const PhotonicLinkModel small(pp, OnetGeometry::from(mp16),
+                                PhotonicFlavor::kDefault);
+  // rings ~ hubs^2 * width: 64^2/16^2 = 16x.
+  const double ratio =
+      static_cast<double>(big.total_rings()) / small.total_rings();
+  EXPECT_NEAR(ratio, 16.0, 0.5);
+}
+
+TEST(PhotonicProperties, TuningPowerLinearInRingCountAndHeater) {
+  PhotonicParams a;
+  auto b = a;
+  b.ring_tuning_uW_per_ring = a.ring_tuning_uW_per_ring * 3;
+  const PhotonicLinkModel ma(a, geom(), PhotonicFlavor::kRingTuned);
+  const PhotonicLinkModel mb(b, geom(), PhotonicFlavor::kRingTuned);
+  EXPECT_NEAR(mb.tuning_power_W() / ma.tuning_power_W(), 3.0, 1e-9);
+}
+
+TEST(PhotonicProperties, BroadcastPowerExceedsWorstCaseUnicast) {
+  // Broadcast must supply every receiver, so it can never be cheaper than
+  // one worst-case receiver.
+  for (double loss : {0.2, 1.0, 4.0}) {
+    PhotonicParams pp;
+    pp.waveguide_loss_dB_per_cm = loss;
+    const PhotonicLinkModel m(pp, geom(), PhotonicFlavor::kDefault);
+    EXPECT_GT(m.laser_broadcast_mW(), m.laser_unicast_mW());
+  }
+}
+
+TEST(PhotonicProperties, NonlinearityLimitViolatedAtExtremeLoss) {
+  PhotonicParams pp;
+  pp.waveguide_loss_dB_per_cm = 10.0;  // absurd loss
+  const PhotonicLinkModel m(pp, geom(), PhotonicFlavor::kDefault);
+  EXPECT_FALSE(m.within_nonlinearity_limit());
+}
+
+TEST(PhotonicProperties, SelectLinkScalesWithLogHubs) {
+  const auto g64 = OnetGeometry::from(MachineParams::paper());
+  EXPECT_EQ(g64.select_width_bits, 6);
+  const auto g16 = OnetGeometry::from(MachineParams::small(16, 4));
+  EXPECT_EQ(g16.select_width_bits, 4);
+}
+
+}  // namespace
+}  // namespace atacsim::phy

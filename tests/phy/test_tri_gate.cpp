@@ -1,0 +1,41 @@
+#include <gtest/gtest.h>
+
+#include "phy/tri_gate.hpp"
+
+namespace atacsim::phy {
+namespace {
+
+TEST(TriGate, SwitchEnergyFollowsCV2) {
+  TechParams t;
+  const TriGateModel m(t);
+  // (2.42 + 1.15) fF/um * 0.36 V^2 = 1.285 fJ/um.
+  EXPECT_NEAR(m.switch_energy_fJ_per_um(), (2.42 + 1.15) * 0.36, 1e-9);
+}
+
+TEST(TriGate, LeakageFollowsIoffVdd) {
+  TechParams t;
+  const TriGateModel m(t);
+  // 1 nA/um * 0.6 V = 0.6 nW/um = 6e-4 uW/um.
+  EXPECT_NEAR(m.leakage_uW_per_um(), 6e-4, 1e-12);
+}
+
+TEST(TriGate, WireEnergyScalesLinearlyWithLength) {
+  TechParams t;
+  const TriGateModel m(t);
+  const double e1 = m.wire_energy_fJ_per_bit(1.0);
+  const double e2 = m.wire_energy_fJ_per_bit(2.0);
+  EXPECT_NEAR(e2, 2 * e1, 1e-9);
+  EXPECT_GT(e1, 0.0);
+}
+
+TEST(TriGate, LowerVddReducesEnergyQuadratically) {
+  TechParams hi;
+  TechParams lo;
+  lo.vdd_V = 0.3;
+  const TriGateModel mh(hi), ml(lo);
+  EXPECT_NEAR(ml.switch_energy_fJ_per_um() / mh.switch_energy_fJ_per_um(),
+              0.25, 1e-9);
+}
+
+}  // namespace
+}  // namespace atacsim::phy

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "power/cache_model.hpp"
+
+namespace atacsim::power {
+namespace {
+
+phy::TriGateModel dev() { return phy::TriGateModel(TechParams{}); }
+
+CacheGeometry l1() { return {32, 4, 64, 64, 36}; }
+CacheGeometry l2() { return {256, 8, 64, 512, 30}; }
+
+TEST(CacheModel, BiggerCachesLeakMore) {
+  const CacheEnergyModel a(dev(), l1());
+  const CacheEnergyModel b(dev(), l2());
+  EXPECT_GT(b.leakage_mW(), 5 * a.leakage_mW());
+  EXPECT_GT(b.area_mm2(), 5 * a.area_mm2());
+}
+
+TEST(CacheModel, WritesCostMoreThanReads) {
+  const CacheEnergyModel m(dev(), l1());
+  EXPECT_GT(m.write_pJ(), m.read_pJ());
+}
+
+TEST(CacheModel, LineAccessesCostMoreThanWordAccesses) {
+  CacheGeometry word = l2();
+  word.access_bits = 64;
+  const CacheEnergyModel line(dev(), l2());
+  const CacheEnergyModel w(dev(), word);
+  EXPECT_GT(line.read_pJ(), 2 * w.read_pJ());
+}
+
+TEST(CacheModel, EnergyPerAccessGrowsWithSize) {
+  CacheGeometry small = l1();
+  CacheGeometry big = l1();
+  big.size_KB = 512;
+  const CacheEnergyModel s(dev(), small), b(dev(), big);
+  EXPECT_GT(b.read_pJ(), s.read_pJ());
+}
+
+TEST(CacheModel, PlausibleMagnitudes) {
+  const CacheEnergyModel m1(dev(), l1());
+  const CacheEnergyModel m2(dev(), l2());
+  // 11 nm L1 word read: sub-pJ to few pJ; 256 KB line read: a few pJ more.
+  EXPECT_GT(m1.read_pJ(), 0.1);
+  EXPECT_LT(m1.read_pJ(), 10.0);
+  EXPECT_GT(m2.read_pJ(), m1.read_pJ());
+  EXPECT_LT(m2.read_pJ(), 50.0);
+  EXPECT_GT(m2.leakage_mW(), 0.01);
+  EXPECT_LT(m2.leakage_mW(), 5.0);
+  // A 1024-core chip's worth of L2 area should be O(100) mm^2.
+  EXPECT_GT(m2.area_mm2() * 1024, 30.0);
+  EXPECT_LT(m2.area_mm2() * 1024, 300.0);
+}
+
+TEST(CacheModel, ClockPowerScalesWithFrequency) {
+  const CacheEnergyModel m(dev(), l2());
+  EXPECT_NEAR(m.clock_mW(2.0), 2 * m.clock_mW(1.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace atacsim::power

@@ -1,0 +1,117 @@
+// Energy-model invariants across technology flavours and machine knobs.
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hpp"
+
+namespace atacsim::power {
+namespace {
+
+NetCounters busy_net() {
+  NetCounters n;
+  n.enet_router_flits = 1'000'000;
+  n.enet_link_flits = 800'000;
+  n.recvnet_link_flits = 200'000;
+  n.hub_flits = 300'000;
+  n.onet_flits_sent = 150'000;
+  n.onet_flit_receptions = 400'000;
+  n.onet_selects = 40'000;
+  n.laser_unicast_cycles = 140'000;
+  n.laser_bcast_cycles = 10'000;
+  return n;
+}
+
+MemCounters busy_mem() {
+  MemCounters m;
+  m.l1i_accesses = 10'000'000;
+  m.l1d_reads = 4'000'000;
+  m.l1d_writes = 1'000'000;
+  m.l2_reads = 400'000;
+  m.l2_writes = 300'000;
+  m.dir_reads = 200'000;
+  m.dir_writes = 150'000;
+  m.dram_reads = 40'000;
+  m.dram_writes = 10'000;
+  return m;
+}
+
+EnergyBreakdown energy_for(PhotonicFlavor f, double cycles = 1e6) {
+  auto mp = MachineParams::paper();
+  mp.photonics = f;
+  const EnergyModel m(mp);
+  return m.compute(busy_net(), busy_mem(), {}, cycles);
+}
+
+TEST(EnergyInvariants, FlavorOrderingIdealLeqDefaultLeqRingTunedLeqCons) {
+  const double ideal = energy_for(PhotonicFlavor::kIdeal).chip_no_core();
+  const double def = energy_for(PhotonicFlavor::kDefault).chip_no_core();
+  const double tuned = energy_for(PhotonicFlavor::kRingTuned).chip_no_core();
+  const double cons = energy_for(PhotonicFlavor::kCons).chip_no_core();
+  EXPECT_LE(ideal, def);
+  EXPECT_LT(def, tuned);
+  EXPECT_LT(tuned, cons);
+}
+
+TEST(EnergyInvariants, FlavorsShareEverythingButOptics) {
+  const auto a = energy_for(PhotonicFlavor::kIdeal);
+  const auto b = energy_for(PhotonicFlavor::kCons);
+  EXPECT_DOUBLE_EQ(a.caches(), b.caches());
+  EXPECT_DOUBLE_EQ(a.enet_dynamic, b.enet_dynamic);
+  EXPECT_DOUBLE_EQ(a.recvnet, b.recvnet);
+}
+
+TEST(EnergyInvariants, ConsLaserGrowsWithRuntimeGatedDoesNot) {
+  const auto cons1 = energy_for(PhotonicFlavor::kCons, 1e6);
+  const auto cons2 = energy_for(PhotonicFlavor::kCons, 2e6);
+  EXPECT_NEAR(cons2.laser / cons1.laser, 2.0, 1e-9);
+  // Gated laser energy follows activity counters, not wall time.
+  const auto def1 = energy_for(PhotonicFlavor::kDefault, 1e6);
+  const auto def2 = energy_for(PhotonicFlavor::kDefault, 2e6);
+  EXPECT_DOUBLE_EQ(def1.laser, def2.laser);
+}
+
+TEST(EnergyInvariants, BreakdownComponentsSumToTotals) {
+  const auto e = energy_for(PhotonicFlavor::kCons);
+  EXPECT_NEAR(e.network() + e.caches(), e.chip_no_core(), 1e-15);
+  EXPECT_NEAR(e.chip_no_core() + e.core_dd + e.core_ndd, e.chip(), 1e-15);
+  EXPECT_GT(e.laser, 0.0);
+  EXPECT_GT(e.ring_tuning, 0.0);
+  EXPECT_GT(e.l2, 0.0);
+}
+
+TEST(EnergyInvariants, AreaGrowsWithFlitWidthOnlyInNetwork) {
+  auto mp = MachineParams::paper();
+  mp.flit_bits = 64;
+  const auto a64 = EnergyModel(mp).area();
+  mp.flit_bits = 256;
+  const auto a256 = EnergyModel(mp).area();
+  EXPECT_DOUBLE_EQ(a64.l2, a256.l2);
+  EXPECT_GT(a256.optical, 3.0 * a64.optical);
+  EXPECT_GT(a256.enet, a64.enet);
+}
+
+TEST(EnergyInvariants, EmeshMachinesHaveNoOpticalEnergy) {
+  auto mp = MachineParams::paper();
+  mp.network = NetworkKind::kEMeshBCast;
+  const EnergyModel m(mp);
+  const auto e = m.compute(busy_net(), busy_mem(), {}, 1e6);
+  EXPECT_DOUBLE_EQ(e.laser, 0.0);
+  EXPECT_DOUBLE_EQ(e.ring_tuning, 0.0);
+  EXPECT_DOUBLE_EQ(e.optical_other, 0.0);
+  EXPECT_DOUBLE_EQ(e.recvnet, 0.0);
+  EXPECT_DOUBLE_EQ(e.hub, 0.0);
+  EXPECT_GT(e.enet_dynamic, 0.0);
+}
+
+TEST(EnergyInvariants, DirectoryEnergyMonotoneInK) {
+  double prev = 0;
+  for (int k : {4, 16, 64, 1024}) {
+    auto mp = MachineParams::paper();
+    mp.num_hw_sharers = k;
+    const auto e = EnergyModel(mp).compute(busy_net(), busy_mem(), {}, 1e6);
+    EXPECT_GT(e.directory, prev);
+    prev = e.directory;
+  }
+}
+
+}  // namespace
+}  // namespace atacsim::power

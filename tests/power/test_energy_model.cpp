@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hpp"
+
+namespace atacsim::power {
+namespace {
+
+MachineParams atac() { return MachineParams::paper(); }
+
+MachineParams emesh() {
+  auto p = MachineParams::paper();
+  p.network = NetworkKind::kEMeshBCast;
+  return p;
+}
+
+TEST(DirectorySizing, GrowsWithHardwareSharers) {
+  auto p4 = atac();
+  auto p1024 = atac();
+  p1024.num_hw_sharers = 1024;
+  const auto s4 = DirectorySizing::from(p4);
+  const auto s1024 = DirectorySizing::from(p1024);
+  // k=1024 degenerates to a full-map bit vector (1024 sharer bits), not
+  // 1024 ten-bit pointers — ~17x the k=4 entry (paper Sec. V-F: total
+  // energy/area roughly double from k=4 to k=1024).
+  EXPECT_GT(s1024.entry_bits, 10 * s4.entry_bits);
+  EXPECT_LT(s1024.entry_bits, 30 * s4.entry_bits);
+  EXPECT_EQ(s4.entries, 4096);  // 256 KB / 64 B lines
+}
+
+TEST(EnergyModel, ZeroCountersZeroTimeIsZeroEnergy) {
+  const EnergyModel m(atac());
+  const auto e = m.compute({}, {}, {}, 0.0);
+  EXPECT_DOUBLE_EQ(e.chip(), 0.0);
+}
+
+TEST(EnergyModel, StaticEnergyScalesWithRuntime) {
+  const EnergyModel m(atac());
+  const auto e1 = m.compute({}, {}, {}, 1e6);
+  const auto e2 = m.compute({}, {}, {}, 2e6);
+  EXPECT_NEAR(e2.chip(), 2 * e1.chip(), 1e-9);
+  EXPECT_GT(e1.caches(), 0.0);
+  EXPECT_GT(e1.core_ndd, 0.0);
+}
+
+TEST(EnergyModel, ConsFlavorBurnsLaserWhenIdle) {
+  auto p = atac();
+  p.photonics = PhotonicFlavor::kCons;
+  const EnergyModel cons(p);
+  p.photonics = PhotonicFlavor::kDefault;
+  const EnergyModel def(p);
+  // No traffic at all: the gated laser burns nothing, Cons burns plenty.
+  const auto ec = cons.compute({}, {}, {}, 1e6);
+  const auto ed = def.compute({}, {}, {}, 1e6);
+  EXPECT_GT(ec.laser, 1e-6);
+  EXPECT_DOUBLE_EQ(ed.laser, 0.0);
+}
+
+TEST(EnergyModel, RingTunedPaysTuningEnergy) {
+  auto p = atac();
+  p.photonics = PhotonicFlavor::kRingTuned;
+  const EnergyModel tuned(p);
+  p.photonics = PhotonicFlavor::kDefault;
+  const EnergyModel def(p);
+  const auto et = tuned.compute({}, {}, {}, 1e6);
+  const auto ed = def.compute({}, {}, {}, 1e6);
+  EXPECT_GT(et.ring_tuning, 0.0);
+  EXPECT_DOUBLE_EQ(ed.ring_tuning, 0.0);
+  EXPECT_GT(et.chip(), ed.chip());
+}
+
+TEST(EnergyModel, DynamicCountsAddEnergy) {
+  const EnergyModel m(atac());
+  NetCounters net;
+  net.enet_link_flits = 1000000;
+  net.enet_router_flits = 1000000;
+  const auto e0 = m.compute({}, {}, {}, 1e6);
+  const auto e1 = m.compute(net, {}, {}, 1e6);
+  EXPECT_GT(e1.enet_dynamic, e0.enet_dynamic);
+  EXPECT_DOUBLE_EQ(e0.enet_dynamic, 0.0);
+}
+
+TEST(EnergyModel, CachesDominateChipNoCoreWhenAthermal) {
+  // The paper's headline observation: with athermal rings and gated lasers,
+  // cache energy is >75% of the cache+network total for realistic activity.
+  const EnergyModel m(atac());
+  NetCounters net;
+  net.enet_link_flits = 5'000'000;
+  net.enet_router_flits = 10'000'000;
+  net.onet_flits_sent = 1'000'000;
+  net.onet_flit_receptions = 2'000'000;
+  net.onet_selects = 200'000;
+  net.laser_unicast_cycles = 1'000'000;
+  net.laser_bcast_cycles = 50'000;
+  net.recvnet_link_flits = 1'000'000;
+  net.hub_flits = 2'000'000;
+  MemCounters mem;
+  mem.l1i_accesses = 500'000'000;
+  mem.l1d_reads = 150'000'000;
+  mem.l1d_writes = 50'000'000;
+  mem.l2_reads = 10'000'000;
+  mem.l2_writes = 5'000'000;
+  mem.dir_reads = 5'000'000;
+  mem.dir_writes = 5'000'000;
+  const auto e = m.compute(net, mem, {}, 1e6);
+  EXPECT_GT(e.caches() / e.chip_no_core(), 0.75);
+}
+
+TEST(EnergyModel, AreaCachesDominateAndOpticsMatchPaper) {
+  const EnergyModel m(atac());
+  const auto a = m.area();
+  EXPECT_GT(a.caches() / a.total(), 0.80);  // paper: ~90%
+  EXPECT_GT(a.optical, 20.0);               // paper: ~40 mm^2
+  EXPECT_LT(a.optical, 80.0);
+  const EnergyModel me(emesh());
+  const auto ae = me.area();
+  EXPECT_DOUBLE_EQ(ae.optical, 0.0);
+  EXPECT_DOUBLE_EQ(ae.hubs, 0.0);
+}
+
+TEST(EnergyModel, CoreEnergySplitsNddAndDd) {
+  auto p = atac();
+  p.core_ndd_fraction = 0.40;
+  const EnergyModel m(p);
+  CoreCounters core;
+  core.instructions = 1024ull * 500'000;  // IPC 0.5 at 1e6 cycles
+  const auto e = m.compute({}, {}, core, 1e6);
+  // NDD: 20mW*0.4 * 1ms * 1024 cores = 8.19 mJ.
+  EXPECT_NEAR(e.core_ndd, 20e-3 * 0.4 * 1e-3 * 1024, 1e-6);
+  // DD: 20mW*0.6 * IPC 0.5 ...
+  EXPECT_NEAR(e.core_dd, 20e-3 * 0.6 * 0.5 * 1e-3 * 1024, 1e-6);
+}
+
+TEST(EnergyModel, DramEnergyCountsLineTransfers) {
+  const EnergyModel m(atac());
+  MemCounters mem;
+  mem.dram_reads = 1000;
+  const auto e = m.compute({}, mem, {}, 1.0);
+  EXPECT_GT(e.dram, 0.0);
+}
+
+}  // namespace
+}  // namespace atacsim::power

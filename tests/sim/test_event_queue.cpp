@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace atacsim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(10, [&] { order.push_back(2); });
+  q.schedule(5, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(3); });
+  EXPECT_TRUE(q.run());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 20u);
+}
+
+TEST(EventQueue, TiesBreakInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.schedule(7, [&, i] { order.push_back(i); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HandlersMayScheduleMore) {
+  EventQueue q;
+  int hits = 0;
+  std::function<void()> chain = [&] {
+    if (++hits < 10) q.schedule_in(3, chain);
+  };
+  q.schedule(0, chain);
+  q.run();
+  EXPECT_EQ(hits, 10);
+  EXPECT_EQ(q.now(), 27u);
+}
+
+TEST(EventQueue, PastSchedulesClampToNow) {
+  EventQueue q;
+  Cycle seen = 0;
+  q.schedule(100, [&] {
+    q.schedule(5, [&] { seen = q.now(); });  // "in the past"
+  });
+  q.run();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(EventQueue, MaxCycleSafetyStop) {
+  EventQueue q;
+  std::function<void()> forever = [&] { q.schedule_in(1, forever); };
+  q.schedule(0, forever);
+  EXPECT_FALSE(q.run(1000));
+}
+
+TEST(EventQueue, RunUntilAdvancesClock) {
+  EventQueue q;
+  int hits = 0;
+  q.schedule(5, [&] { ++hits; });
+  q.schedule(15, [&] { ++hits; });
+  q.run_until(10);
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(q.now(), 10u);
+  q.run_until(20);
+  EXPECT_EQ(hits, 2);
+}
+
+}  // namespace
+}  // namespace atacsim
