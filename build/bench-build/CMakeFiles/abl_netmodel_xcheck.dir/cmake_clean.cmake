@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_netmodel_xcheck"
+  "../bench/abl_netmodel_xcheck.pdb"
+  "CMakeFiles/abl_netmodel_xcheck.dir/abl_netmodel_xcheck.cpp.o"
+  "CMakeFiles/abl_netmodel_xcheck.dir/abl_netmodel_xcheck.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_netmodel_xcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_netmodel_xcheck.
+# This may be replaced when dependencies are built.

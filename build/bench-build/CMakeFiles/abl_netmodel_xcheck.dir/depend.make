@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_netmodel_xcheck.
+# This may be replaced when dependencies are built.

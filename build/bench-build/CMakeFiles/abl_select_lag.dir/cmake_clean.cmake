@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_select_lag"
+  "../bench/abl_select_lag.pdb"
+  "CMakeFiles/abl_select_lag.dir/abl_select_lag.cpp.o"
+  "CMakeFiles/abl_select_lag.dir/abl_select_lag.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_select_lag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_trace_vs_execution"
+  "../bench/abl_trace_vs_execution.pdb"
+  "CMakeFiles/abl_trace_vs_execution.dir/abl_trace_vs_execution.cpp.o"
+  "CMakeFiles/abl_trace_vs_execution.dir/abl_trace_vs_execution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_trace_vs_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

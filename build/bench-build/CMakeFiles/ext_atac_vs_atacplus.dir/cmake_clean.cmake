@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_atac_vs_atacplus"
+  "../bench/ext_atac_vs_atacplus.pdb"
+  "CMakeFiles/ext_atac_vs_atacplus.dir/ext_atac_vs_atacplus.cpp.o"
+  "CMakeFiles/ext_atac_vs_atacplus.dir/ext_atac_vs_atacplus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_atac_vs_atacplus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

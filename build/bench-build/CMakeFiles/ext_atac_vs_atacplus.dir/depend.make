@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_atac_vs_atacplus.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_extension_apps.cpp" "bench-build/CMakeFiles/ext_extension_apps.dir/ext_extension_apps.cpp.o" "gcc" "bench-build/CMakeFiles/ext_extension_apps.dir/ext_extension_apps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/atac_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/atac_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/atac_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/atac_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/cyclenet/CMakeFiles/atac_cyclenet.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/atac_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/atac_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/atac_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/atac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

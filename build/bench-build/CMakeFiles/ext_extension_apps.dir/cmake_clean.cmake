@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_extension_apps"
+  "../bench/ext_extension_apps.pdb"
+  "CMakeFiles/ext_extension_apps.dir/ext_extension_apps.cpp.o"
+  "CMakeFiles/ext_extension_apps.dir/ext_extension_apps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_extension_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

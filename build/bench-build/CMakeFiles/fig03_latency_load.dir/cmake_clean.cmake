@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_latency_load"
+  "../bench/fig03_latency_load.pdb"
+  "CMakeFiles/fig03_latency_load.dir/fig03_latency_load.cpp.o"
+  "CMakeFiles/fig03_latency_load.dir/fig03_latency_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_latency_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_app_runtime"
+  "../bench/fig04_app_runtime.pdb"
+  "CMakeFiles/fig04_app_runtime.dir/fig04_app_runtime.cpp.o"
+  "CMakeFiles/fig04_app_runtime.dir/fig04_app_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_app_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

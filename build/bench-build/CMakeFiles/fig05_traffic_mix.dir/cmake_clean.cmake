@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_traffic_mix"
+  "../bench/fig05_traffic_mix.pdb"
+  "CMakeFiles/fig05_traffic_mix.dir/fig05_traffic_mix.cpp.o"
+  "CMakeFiles/fig05_traffic_mix.dir/fig05_traffic_mix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_traffic_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

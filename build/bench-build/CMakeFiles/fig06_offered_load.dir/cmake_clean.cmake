@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_offered_load"
+  "../bench/fig06_offered_load.pdb"
+  "CMakeFiles/fig06_offered_load.dir/fig06_offered_load.cpp.o"
+  "CMakeFiles/fig06_offered_load.dir/fig06_offered_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_offered_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

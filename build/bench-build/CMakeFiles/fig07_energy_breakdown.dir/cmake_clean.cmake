@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_energy_breakdown"
+  "../bench/fig07_energy_breakdown.pdb"
+  "CMakeFiles/fig07_energy_breakdown.dir/fig07_energy_breakdown.cpp.o"
+  "CMakeFiles/fig07_energy_breakdown.dir/fig07_energy_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_energy_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

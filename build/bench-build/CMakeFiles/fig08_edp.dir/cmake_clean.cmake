@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_edp"
+  "../bench/fig08_edp.pdb"
+  "CMakeFiles/fig08_edp.dir/fig08_edp.cpp.o"
+  "CMakeFiles/fig08_edp.dir/fig08_edp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_waveguide_loss"
+  "../bench/fig09_waveguide_loss.pdb"
+  "CMakeFiles/fig09_waveguide_loss.dir/fig09_waveguide_loss.cpp.o"
+  "CMakeFiles/fig09_waveguide_loss.dir/fig09_waveguide_loss.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_waveguide_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_area"
+  "../bench/fig10_area.pdb"
+  "CMakeFiles/fig10_area.dir/fig10_area.cpp.o"
+  "CMakeFiles/fig10_area.dir/fig10_area.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_flit_width"
+  "../bench/fig11_flit_width.pdb"
+  "CMakeFiles/fig11_flit_width.dir/fig11_flit_width.cpp.o"
+  "CMakeFiles/fig11_flit_width.dir/fig11_flit_width.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_flit_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

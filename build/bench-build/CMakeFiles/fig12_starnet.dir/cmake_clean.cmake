@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_starnet"
+  "../bench/fig12_starnet.pdb"
+  "CMakeFiles/fig12_starnet.dir/fig12_starnet.cpp.o"
+  "CMakeFiles/fig12_starnet.dir/fig12_starnet.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_starnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

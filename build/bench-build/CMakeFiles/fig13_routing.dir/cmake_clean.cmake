@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_routing"
+  "../bench/fig13_routing.pdb"
+  "CMakeFiles/fig13_routing.dir/fig13_routing.cpp.o"
+  "CMakeFiles/fig13_routing.dir/fig13_routing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_coherence"
+  "../bench/fig14_coherence.pdb"
+  "CMakeFiles/fig14_coherence.dir/fig14_coherence.cpp.o"
+  "CMakeFiles/fig14_coherence.dir/fig14_coherence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

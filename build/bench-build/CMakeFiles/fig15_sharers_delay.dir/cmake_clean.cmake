@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_sharers_delay"
+  "../bench/fig15_sharers_delay.pdb"
+  "CMakeFiles/fig15_sharers_delay.dir/fig15_sharers_delay.cpp.o"
+  "CMakeFiles/fig15_sharers_delay.dir/fig15_sharers_delay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_sharers_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

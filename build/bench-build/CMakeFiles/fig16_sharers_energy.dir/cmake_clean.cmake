@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_sharers_energy"
+  "../bench/fig16_sharers_energy.pdb"
+  "CMakeFiles/fig16_sharers_energy.dir/fig16_sharers_energy.cpp.o"
+  "CMakeFiles/fig16_sharers_energy.dir/fig16_sharers_energy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_sharers_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_core_power"
+  "../bench/fig17_core_power.pdb"
+  "CMakeFiles/fig17_core_power.dir/fig17_core_power.cpp.o"
+  "CMakeFiles/fig17_core_power.dir/fig17_core_power.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_core_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab05_swmr_util"
+  "../bench/tab05_swmr_util.pdb"
+  "CMakeFiles/tab05_swmr_util.dir/tab05_swmr_util.cpp.o"
+  "CMakeFiles/tab05_swmr_util.dir/tab05_swmr_util.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_swmr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_traffic_study.dir/coherence_traffic_study.cpp.o"
+  "CMakeFiles/coherence_traffic_study.dir/coherence_traffic_study.cpp.o.d"
+  "coherence_traffic_study"
+  "coherence_traffic_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_traffic_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

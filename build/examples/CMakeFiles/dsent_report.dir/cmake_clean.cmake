@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsent_report.dir/dsent_report.cpp.o"
+  "CMakeFiles/dsent_report.dir/dsent_report.cpp.o.d"
+  "dsent_report"
+  "dsent_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsent_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photonic_link_explorer.dir/photonic_link_explorer.cpp.o"
+  "CMakeFiles/photonic_link_explorer.dir/photonic_link_explorer.cpp.o.d"
+  "photonic_link_explorer"
+  "photonic_link_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photonic_link_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/barnes.cpp" "src/apps/CMakeFiles/atac_apps.dir/barnes.cpp.o" "gcc" "src/apps/CMakeFiles/atac_apps.dir/barnes.cpp.o.d"
+  "/root/repo/src/apps/dynamic_graph.cpp" "src/apps/CMakeFiles/atac_apps.dir/dynamic_graph.cpp.o" "gcc" "src/apps/CMakeFiles/atac_apps.dir/dynamic_graph.cpp.o.d"
+  "/root/repo/src/apps/fft.cpp" "src/apps/CMakeFiles/atac_apps.dir/fft.cpp.o" "gcc" "src/apps/CMakeFiles/atac_apps.dir/fft.cpp.o.d"
+  "/root/repo/src/apps/fmm.cpp" "src/apps/CMakeFiles/atac_apps.dir/fmm.cpp.o" "gcc" "src/apps/CMakeFiles/atac_apps.dir/fmm.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/apps/CMakeFiles/atac_apps.dir/lu.cpp.o" "gcc" "src/apps/CMakeFiles/atac_apps.dir/lu.cpp.o.d"
+  "/root/repo/src/apps/ocean.cpp" "src/apps/CMakeFiles/atac_apps.dir/ocean.cpp.o" "gcc" "src/apps/CMakeFiles/atac_apps.dir/ocean.cpp.o.d"
+  "/root/repo/src/apps/radix.cpp" "src/apps/CMakeFiles/atac_apps.dir/radix.cpp.o" "gcc" "src/apps/CMakeFiles/atac_apps.dir/radix.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/atac_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/atac_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/water.cpp" "src/apps/CMakeFiles/atac_apps.dir/water.cpp.o" "gcc" "src/apps/CMakeFiles/atac_apps.dir/water.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/atac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/atac_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/atac_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/atac_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/atac_network.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atac_apps.dir/barnes.cpp.o"
+  "CMakeFiles/atac_apps.dir/barnes.cpp.o.d"
+  "CMakeFiles/atac_apps.dir/dynamic_graph.cpp.o"
+  "CMakeFiles/atac_apps.dir/dynamic_graph.cpp.o.d"
+  "CMakeFiles/atac_apps.dir/fft.cpp.o"
+  "CMakeFiles/atac_apps.dir/fft.cpp.o.d"
+  "CMakeFiles/atac_apps.dir/fmm.cpp.o"
+  "CMakeFiles/atac_apps.dir/fmm.cpp.o.d"
+  "CMakeFiles/atac_apps.dir/lu.cpp.o"
+  "CMakeFiles/atac_apps.dir/lu.cpp.o.d"
+  "CMakeFiles/atac_apps.dir/ocean.cpp.o"
+  "CMakeFiles/atac_apps.dir/ocean.cpp.o.d"
+  "CMakeFiles/atac_apps.dir/radix.cpp.o"
+  "CMakeFiles/atac_apps.dir/radix.cpp.o.d"
+  "CMakeFiles/atac_apps.dir/registry.cpp.o"
+  "CMakeFiles/atac_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/atac_apps.dir/water.cpp.o"
+  "CMakeFiles/atac_apps.dir/water.cpp.o.d"
+  "libatac_apps.a"
+  "libatac_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atac_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

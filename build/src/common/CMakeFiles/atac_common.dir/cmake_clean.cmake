@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atac_common.dir/params.cpp.o"
+  "CMakeFiles/atac_common.dir/params.cpp.o.d"
+  "CMakeFiles/atac_common.dir/table.cpp.o"
+  "CMakeFiles/atac_common.dir/table.cpp.o.d"
+  "libatac_common.a"
+  "libatac_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atac_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

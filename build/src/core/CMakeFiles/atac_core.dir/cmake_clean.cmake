@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atac_core.dir/program.cpp.o"
+  "CMakeFiles/atac_core.dir/program.cpp.o.d"
+  "libatac_core.a"
+  "libatac_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atac_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

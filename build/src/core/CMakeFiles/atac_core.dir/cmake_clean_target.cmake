@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libatac_core.a"
+)

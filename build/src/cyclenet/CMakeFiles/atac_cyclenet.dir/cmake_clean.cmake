@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atac_cyclenet.dir/cycle_mesh.cpp.o"
+  "CMakeFiles/atac_cyclenet.dir/cycle_mesh.cpp.o.d"
+  "libatac_cyclenet.a"
+  "libatac_cyclenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atac_cyclenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

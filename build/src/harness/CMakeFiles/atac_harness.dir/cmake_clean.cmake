@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atac_harness.dir/cache.cpp.o"
+  "CMakeFiles/atac_harness.dir/cache.cpp.o.d"
+  "CMakeFiles/atac_harness.dir/config_file.cpp.o"
+  "CMakeFiles/atac_harness.dir/config_file.cpp.o.d"
+  "CMakeFiles/atac_harness.dir/runner.cpp.o"
+  "CMakeFiles/atac_harness.dir/runner.cpp.o.d"
+  "libatac_harness.a"
+  "libatac_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atac_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

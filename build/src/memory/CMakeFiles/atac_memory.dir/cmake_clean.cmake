@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atac_memory.dir/cache_array.cpp.o"
+  "CMakeFiles/atac_memory.dir/cache_array.cpp.o.d"
+  "CMakeFiles/atac_memory.dir/cache_controller.cpp.o"
+  "CMakeFiles/atac_memory.dir/cache_controller.cpp.o.d"
+  "CMakeFiles/atac_memory.dir/directory.cpp.o"
+  "CMakeFiles/atac_memory.dir/directory.cpp.o.d"
+  "libatac_memory.a"
+  "libatac_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atac_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atac_network.dir/atac_model.cpp.o"
+  "CMakeFiles/atac_network.dir/atac_model.cpp.o.d"
+  "CMakeFiles/atac_network.dir/emesh_model.cpp.o"
+  "CMakeFiles/atac_network.dir/emesh_model.cpp.o.d"
+  "CMakeFiles/atac_network.dir/synthetic.cpp.o"
+  "CMakeFiles/atac_network.dir/synthetic.cpp.o.d"
+  "libatac_network.a"
+  "libatac_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atac_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

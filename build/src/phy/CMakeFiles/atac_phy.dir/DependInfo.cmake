@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/electrical_energy.cpp" "src/phy/CMakeFiles/atac_phy.dir/electrical_energy.cpp.o" "gcc" "src/phy/CMakeFiles/atac_phy.dir/electrical_energy.cpp.o.d"
+  "/root/repo/src/phy/gates.cpp" "src/phy/CMakeFiles/atac_phy.dir/gates.cpp.o" "gcc" "src/phy/CMakeFiles/atac_phy.dir/gates.cpp.o.d"
+  "/root/repo/src/phy/optical_link.cpp" "src/phy/CMakeFiles/atac_phy.dir/optical_link.cpp.o" "gcc" "src/phy/CMakeFiles/atac_phy.dir/optical_link.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/atac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atac_phy.dir/electrical_energy.cpp.o"
+  "CMakeFiles/atac_phy.dir/electrical_energy.cpp.o.d"
+  "CMakeFiles/atac_phy.dir/gates.cpp.o"
+  "CMakeFiles/atac_phy.dir/gates.cpp.o.d"
+  "CMakeFiles/atac_phy.dir/optical_link.cpp.o"
+  "CMakeFiles/atac_phy.dir/optical_link.cpp.o.d"
+  "libatac_phy.a"
+  "libatac_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atac_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

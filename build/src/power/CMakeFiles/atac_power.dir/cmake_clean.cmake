@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atac_power.dir/cache_model.cpp.o"
+  "CMakeFiles/atac_power.dir/cache_model.cpp.o.d"
+  "CMakeFiles/atac_power.dir/energy_model.cpp.o"
+  "CMakeFiles/atac_power.dir/energy_model.cpp.o.d"
+  "libatac_power.a"
+  "libatac_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atac_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atac_sim.dir/machine.cpp.o"
+  "CMakeFiles/atac_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/atac_sim.dir/trace.cpp.o"
+  "CMakeFiles/atac_sim.dir/trace.cpp.o.d"
+  "libatac_sim.a"
+  "libatac_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atac_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cyclenet.dir/cyclenet/test_cycle_mesh.cpp.o"
+  "CMakeFiles/test_cyclenet.dir/cyclenet/test_cycle_mesh.cpp.o.d"
+  "test_cyclenet"
+  "test_cyclenet.pdb"
+  "test_cyclenet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cyclenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine.dir/sim/test_event_queue.cpp.o"
+  "CMakeFiles/test_machine.dir/sim/test_event_queue.cpp.o.d"
+  "CMakeFiles/test_machine.dir/sim/test_machine_protocol.cpp.o"
+  "CMakeFiles/test_machine.dir/sim/test_machine_protocol.cpp.o.d"
+  "CMakeFiles/test_machine.dir/sim/test_trace.cpp.o"
+  "CMakeFiles/test_machine.dir/sim/test_trace.cpp.o.d"
+  "test_machine"
+  "test_machine.pdb"
+  "test_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network.dir/network/test_atac.cpp.o"
+  "CMakeFiles/test_network.dir/network/test_atac.cpp.o.d"
+  "CMakeFiles/test_network.dir/network/test_edges.cpp.o"
+  "CMakeFiles/test_network.dir/network/test_edges.cpp.o.d"
+  "CMakeFiles/test_network.dir/network/test_emesh.cpp.o"
+  "CMakeFiles/test_network.dir/network/test_emesh.cpp.o.d"
+  "CMakeFiles/test_network.dir/network/test_geom.cpp.o"
+  "CMakeFiles/test_network.dir/network/test_geom.cpp.o.d"
+  "CMakeFiles/test_network.dir/network/test_ledger.cpp.o"
+  "CMakeFiles/test_network.dir/network/test_ledger.cpp.o.d"
+  "CMakeFiles/test_network.dir/network/test_properties.cpp.o"
+  "CMakeFiles/test_network.dir/network/test_properties.cpp.o.d"
+  "CMakeFiles/test_network.dir/network/test_synthetic.cpp.o"
+  "CMakeFiles/test_network.dir/network/test_synthetic.cpp.o.d"
+  "test_network"
+  "test_network.pdb"
+  "test_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy.dir/phy/test_electrical.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_electrical.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_gates.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_gates.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_optical.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_optical.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_optical_properties.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_optical_properties.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_tri_gate.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_tri_gate.cpp.o.d"
+  "test_phy"
+  "test_phy.pdb"
+  "test_phy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
