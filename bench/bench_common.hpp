@@ -1,13 +1,19 @@
 // Shared scaffolding for the per-figure bench binaries: the benchmark
-// application list, default scales, and run helpers over the scenario cache.
+// application list, default scales, and run helpers over the scenario cache
+// and the exp experiment planner.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/table.hpp"
+#include "exp/plan.hpp"
+#include "exp/report.hpp"
 #include "harness/cache.hpp"
 #include "harness/runner.hpp"
 
@@ -37,6 +43,45 @@ inline Outcome run(const std::string& app, const MachineParams& mp,
   return harness::run_scenario_cached(s, /*allow_failure=*/true);
 }
 
+/// Worker-pool size from the command line: `--jobs N` or `--jobs=N`.
+/// Returns 0 (= exp::default_jobs(), i.e. ATACSIM_JOBS or all host cores)
+/// when absent.
+inline int parse_jobs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+      return std::atoi(argv[i + 1]);
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+      return std::atoi(argv[i] + 7);
+  }
+  return 0;
+}
+
+/// Registers one (app, machine) cell on a plan at the bench scale.
+inline exp::ExperimentPlan::Handle plan_cell(exp::ExperimentPlan& plan,
+                                             const std::string& app,
+                                             const MachineParams& mp,
+                                             double scale = bench_scale()) {
+  Scenario s;
+  s.app = app;
+  s.mp = mp;
+  s.scale = scale;
+  return plan.add(s, /*allow_failure=*/true);
+}
+
+/// Executes a figure's plan on the worker pool.
+inline exp::PlanResult execute(const exp::ExperimentPlan& plan, int jobs) {
+  exp::ExecOptions opt;
+  opt.jobs = jobs;
+  return plan.run(opt);
+}
+
+/// Writes the figure's machine-readable JSON + CSV report and announces the
+/// paths (identical lines regardless of the worker-pool size).
+inline void emit_report(const char* name, const exp::PlanResult& res) {
+  for (const auto& path : exp::report::write_report(name, res))
+    std::printf("report: %s\n", path.c_str());
+}
+
 inline void print_header(const char* fig, const char* what) {
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", fig, what);
@@ -44,11 +89,19 @@ inline void print_header(const char* fig, const char* what) {
   std::printf("==============================================================\n");
 }
 
-/// Geometric mean helper used for cross-benchmark averages.
+/// Geometric mean helper used for cross-benchmark averages. Non-positive
+/// entries carry no information on a log scale (log(0) = -inf would poison
+/// the whole average), so they are excluded.
 inline double geomean(const std::vector<double>& xs) {
   double logsum = 0;
-  for (double x : xs) logsum += std::log(x);
-  return xs.empty() ? 0.0 : std::exp(logsum / xs.size());
+  std::size_t n = 0;
+  for (double x : xs) {
+    if (x > 0.0 && std::isfinite(x)) {
+      logsum += std::log(x);
+      ++n;
+    }
+  }
+  return n ? std::exp(logsum / static_cast<double>(n)) : 0.0;
 }
 
 }  // namespace atacsim::bench

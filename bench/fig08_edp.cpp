@@ -9,7 +9,8 @@
 using namespace atacsim;
 using namespace atacsim::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = parse_jobs(argc, argv);
   print_header("Figure 8", "normalized energy-delay product (ACKwise4)");
 
   struct Config {
@@ -25,15 +26,27 @@ int main() {
       {"EMesh-Pure", harness::emesh_pure()},
   };
 
+  exp::ExperimentPlan plan;
+  // cells[app][config] — the four ATAC+ flavours dedupe onto one run.
+  std::vector<std::vector<std::size_t>> cells;
+  for (const auto& app : benchmarks()) {
+    std::vector<std::size_t> per_config;
+    for (const auto& c : configs)
+      per_config.push_back(plan_cell(plan, app, c.mp));
+    cells.push_back(std::move(per_config));
+  }
+  const auto res = execute(plan, jobs);
+
   std::vector<std::string> header = {"benchmark"};
   for (const auto& c : configs) header.push_back(c.name);
   Table t(header);
 
   std::vector<std::vector<double>> ratios(configs.size());
-  for (const auto& app : benchmarks()) {
+  for (std::size_t a = 0; a < benchmarks().size(); ++a) {
     std::vector<double> edp;
-    for (const auto& c : configs) edp.push_back(run(app, c.mp).edp());
-    std::vector<std::string> row = {app};
+    for (std::size_t i = 0; i < configs.size(); ++i)
+      edp.push_back(res.outcomes[cells[a][i]].edp());
+    std::vector<std::string> row = {benchmarks()[a]};
     for (std::size_t i = 0; i < configs.size(); ++i) {
       const double r = edp[i] / edp[0];
       ratios[i].push_back(r);
@@ -55,5 +68,6 @@ int main() {
       "\nHeadline: EMesh-BCast/ATAC+ = %.2fx, EMesh-Pure/ATAC+ = %.2fx"
       "\n(paper: 1.8x and 4.8x); ATAC+/Ideal = %.2fx (paper: ~1.0x).\n\n",
       means[4] / atac, means[5] / atac, atac / means[0]);
+  emit_report("fig08_edp", res);
   return 0;
 }

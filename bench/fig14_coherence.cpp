@@ -10,7 +10,8 @@
 using namespace atacsim;
 using namespace atacsim::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = parse_jobs(argc, argv);
   print_header("Figure 14", "coherence-protocol energy-delay product");
 
   struct Config {
@@ -29,20 +30,30 @@ int main() {
   const std::vector<std::string> apps = {"radix", "barnes", "fmm",
                                          "ocean_contig"};
 
+  exp::ExperimentPlan plan;
+  std::vector<std::vector<std::size_t>> cells;  // [app][config]
+  for (const auto& app : apps) {
+    std::vector<std::size_t> per_config;
+    for (const auto& c : configs) {
+      auto mp = MachineParams::paper();
+      mp.network = c.net;
+      mp.coherence = c.coh;
+      per_config.push_back(plan_cell(plan, app, mp));
+    }
+    cells.push_back(std::move(per_config));
+  }
+  const auto res = execute(plan, jobs);
+
   std::vector<std::string> header = {"benchmark"};
   for (const auto& c : configs) header.push_back(c.name);
   Table t(header);
 
   std::vector<std::vector<double>> ratios(configs.size());
-  for (const auto& app : apps) {
+  for (std::size_t a = 0; a < apps.size(); ++a) {
     std::vector<double> edp;
-    for (const auto& c : configs) {
-      auto mp = MachineParams::paper();
-      mp.network = c.net;
-      mp.coherence = c.coh;
-      edp.push_back(run(app, mp).edp());
-    }
-    std::vector<std::string> row = {app};
+    for (std::size_t i = 0; i < configs.size(); ++i)
+      edp.push_back(res.outcomes[cells[a][i]].edp());
+    std::vector<std::string> row = {apps[a]};
     for (std::size_t i = 0; i < configs.size(); ++i) {
       ratios[i].push_back(edp[i] / edp[0]);
       row.push_back(Table::num(edp[i] / edp[0], 2));
@@ -57,5 +68,6 @@ int main() {
       "\nPaper check: ACKwise4 beats Dir4B on both networks; Dir4B's"
       "\ndegradation is larger on EMesh-BCast and grows with broadcast"
       "\nfrequency (barnes, fmm, radix).\n\n");
+  emit_report("fig14_coherence", res);
   return 0;
 }

@@ -21,6 +21,13 @@
 namespace atacsim::apps {
 namespace {
 
+// Hoisted: the flag is consulted once per propagation round per core, and
+// getenv is not reliably thread-safe once machines run on worker threads.
+bool dg_trace() {
+  static const bool v = std::getenv("ATACSIM_DG_TRACE") != nullptr;
+  return v;
+}
+
 class DynamicGraphApp final : public App {
  public:
   explicit DynamicGraphApp(const AppConfig& cfg)
@@ -138,13 +145,13 @@ class DynamicGraphApp final : public App {
       // reads would split the cores across rounds and deadlock the barrier).
       co_await barrier_.wait(c, sense);
       if (c.id() == 0) {
-        if (std::getenv("ATACSIM_DG_TRACE"))
+        if (dg_trace())
           std::fprintf(stderr, "round @%llu\n", (unsigned long long)c.now());
         co_await c.write<std::uint64_t>(&changed_, 0);
       }
       co_await barrier_.wait(c, sense);
       bool local_changed = false;
-      if (c.id() == 0 && std::getenv("ATACSIM_DG_TRACE"))
+      if (c.id() == 0 && dg_trace())
         std::fprintf(stderr, "  scan @%llu\n", (unsigned long long)c.now());
       for (int u = mine.begin; u < mine.end; ++u) {
         const auto mu = co_await c.read(&mark[static_cast<std::size_t>(u)]);
@@ -186,13 +193,13 @@ class DynamicGraphApp final : public App {
       }
       co_await barrier_.wait(c, sense);
 
-      if (id == 0 && std::getenv("ATACSIM_DG_TRACE"))
+      if (id == 0 && dg_trace())
         std::fprintf(stderr, "fw start @%llu\n", (unsigned long long)c.now());
       co_await propagate(c, sense, fw_, out_head64_, out_edges64_);
-      if (id == 0 && std::getenv("ATACSIM_DG_TRACE"))
+      if (id == 0 && dg_trace())
         std::fprintf(stderr, "bw start @%llu\n", (unsigned long long)c.now());
       co_await propagate(c, sense, bw_, in_head64_, in_edges64_);
-      if (id == 0 && std::getenv("ATACSIM_DG_TRACE"))
+      if (id == 0 && dg_trace())
         std::fprintf(stderr, "count start @%llu\n", (unsigned long long)c.now());
 
       // Count |SCC| = |forward ∩ backward| with an atomic-add reduction

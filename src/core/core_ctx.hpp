@@ -6,8 +6,11 @@
 // Timing model (lax synchronization, as in Graphite): each core keeps a
 // local clock that advances synchronously through L1 hits and compute, and
 // re-synchronizes with the global event clock on every miss, wait or
-// periodic yield. Data itself lives in host memory; host pointer values are
-// the simulated addresses, so homes and cache sets follow real data layout.
+// periodic yield. Data itself lives in host memory; simulated addresses are
+// obtained by translating the host pointer through the machine's
+// deterministic first-touch frame table (see sim::Machine::frame_for_line),
+// with a small per-core direct-mapped TLB in front so the translation stays
+// off the L1-hit fast path's critical cost.
 #pragma once
 
 #include <coroutine>
@@ -38,7 +41,7 @@ class CoreCtx {
 
   /// Timed access to the line containing `p`. Loads need S, stores need M.
   auto access(const void* p, bool write) {
-    return AccessAwaiter{this, reinterpret_cast<Addr>(p), write};
+    return AccessAwaiter{this, translate(p), write};
   }
 
   /// Typed load: timing via access(), value from host memory at commit.
@@ -47,7 +50,7 @@ class CoreCtx {
     struct A : AccessAwaiter {
       T await_resume() const { return *static_cast<const T*>(ptr); }
     };
-    return A{{this, reinterpret_cast<Addr>(p), false, p}};
+    return A{{this, translate(p), false, p}};
   }
 
   /// Typed store.
@@ -57,7 +60,7 @@ class CoreCtx {
       T value;
       void await_resume() const { *static_cast<T*>(const_cast<void*>(ptr)) = value; }
     };
-    return A{{this, reinterpret_cast<Addr>(p), true, p}, v};
+    return A{{this, translate(p), true, p}, v};
   }
 
   /// Atomic read-modify-write: acquires exclusive ownership, then applies
@@ -73,7 +76,7 @@ class CoreCtx {
         return old;
       }
     };
-    return A{{this, reinterpret_cast<Addr>(p), true, p}, std::move(f)};
+    return A{{this, translate(p), true, p}, std::move(f)};
   }
 
   /// Advances the local clock by `n` instruction cycles (1 instr/cycle,
@@ -84,7 +87,7 @@ class CoreCtx {
   /// evicted here (fires immediately if absent) — the primitive spin-waits
   /// are built on, so waiting burns no simulated traffic.
   auto wait_for_change(const void* p) {
-    return WaitAwaiter{this, reinterpret_cast<Addr>(p)};
+    return WaitAwaiter{this, translate(p)};
   }
 
   // --- internals -------------------------------------------------------
@@ -153,6 +156,21 @@ class CoreCtx {
  private:
   friend struct AccessAwaiter;
   Addr addr_of(Addr a) const { return a; }
+
+  /// Host pointer -> deterministic simulated address (granule-level
+  /// first-touch frames, per-core TLB; see sim::Machine::frame_for).
+  Addr translate(const void* p) {
+    constexpr int kGB = sim::Machine::kGranuleBits;
+    const Addr host = reinterpret_cast<Addr>(p);
+    const Addr granule = host >> kGB;
+    TlbEntry& e = tlb_[granule & (kTlbEntries - 1)];
+    if (e.host_granule != granule) {
+      e.host_granule = granule;
+      e.frame = machine_->frame_for(granule);
+    }
+    return (e.frame << kGB) | (host & ((Addr{1} << kGB) - 1));
+  }
+
   void advance(Cycle dt) {
     local_time_ += dt;
     busy_cycles_ += dt;
@@ -162,6 +180,12 @@ class CoreCtx {
     // busy during the access pipeline portion only; stall cycles not busy.
   }
 
+  static constexpr std::size_t kTlbEntries = 256;  // direct-mapped
+  struct TlbEntry {
+    Addr host_granule = ~Addr{0};
+    Addr frame = 0;
+  };
+
   sim::Machine* machine_;
   mem::CacheController* cache_;
   CoreId self_;
@@ -170,6 +194,7 @@ class CoreCtx {
   std::uint64_t instructions_ = 0;
   std::uint32_t fast_ops_ = 0;
   sim::TraceRecorder* tracer_ = nullptr;
+  TlbEntry tlb_[kTlbEntries];
 };
 
 /// Application kernel signature: one coroutine per simulated core.

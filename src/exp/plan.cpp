@@ -1,0 +1,168 @@
+#include "exp/plan.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "exp/singleflight.hpp"
+#include "power/energy_model.hpp"
+
+namespace atacsim::exp {
+
+namespace {
+
+struct RawResult {
+  harness::Outcome o;
+  bool cache_hit = false;
+};
+
+SingleFlight<RawResult>& flight() {
+  static SingleFlight<RawResult> sf;
+  return sf;
+}
+
+std::atomic<std::uint64_t> g_simulations{0};
+
+/// Cache-or-simulate without per-consumer finalization: counters only,
+/// energy left for the consumer's flavour.
+RawResult run_raw_shared(const harness::Scenario& s) {
+  return flight().run(harness::scenario_key(s), [&s] {
+    RawResult r;
+    r.cache_hit = harness::try_load_cached(s, r.o);
+    if (!r.cache_hit) {
+      g_simulations.fetch_add(1, std::memory_order_relaxed);
+      r.o = harness::run_scenario(s, /*allow_failure=*/true);
+      harness::store_cached(s, r.o);
+    }
+    return r;
+  });
+}
+
+/// Stamps a raw (counters-only) outcome with the consumer's identity and
+/// energy model, and enforces its failure policy.
+void finalize(const harness::Scenario& s, harness::Outcome& o,
+              bool allow_failure) {
+  o.app = s.app;
+  o.config = harness::config_name(s.mp);
+  const power::EnergyModel em(s.mp);
+  o.energy = em.compute(o.run.net, o.run.mem, o.run.core,
+                        static_cast<double>(o.run.completion_cycles));
+  if (!allow_failure && !o.verify_msg.empty())
+    throw std::runtime_error(s.app + " on " + o.config + ": " + o.verify_msg);
+}
+
+}  // namespace
+
+int default_jobs() {
+  if (const char* e = std::getenv("ATACSIM_JOBS")) {
+    const int j = std::atoi(e);
+    if (j >= 1) return j;
+    return 1;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
+}
+
+std::uint64_t simulations_executed() {
+  return g_simulations.load(std::memory_order_relaxed);
+}
+
+harness::Outcome run_scenario_shared(const harness::Scenario& s,
+                                     bool allow_failure, bool* cache_hit) {
+  RawResult raw = run_raw_shared(s);
+  if (cache_hit) *cache_hit = raw.cache_hit;
+  finalize(s, raw.o, allow_failure);
+  return raw.o;
+}
+
+ExperimentPlan::Handle ExperimentPlan::add(const harness::Scenario& s,
+                                           bool allow_failure) {
+  const std::string key = harness::scenario_key(s);
+  auto [it, inserted] = cell_by_key_.emplace(key, cells_.size());
+  if (inserted) cells_.push_back(Cell{s});
+  handles_.push_back(HandleEntry{s, allow_failure, it->second});
+  return handles_.size() - 1;
+}
+
+PlanResult ExperimentPlan::run(const ExecOptions& opt) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  const int jobs = opt.jobs > 0 ? opt.jobs : default_jobs();
+  const std::size_t n = cells_.size();
+
+  std::vector<harness::Outcome> raw(n);
+  std::vector<std::exception_ptr> errors(n);
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> hits{0};
+  std::mutex progress_mu;
+  const bool tty = isatty(fileno(stderr)) != 0;
+
+  auto progress = [&](std::size_t d) {
+    if (!opt.progress) return;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::lock_guard<std::mutex> lock(progress_mu);
+    std::fprintf(stderr, "%s[exp] %zu/%zu cells done, %zu cache hits, %.1fs%s",
+                 tty ? "\r" : "", d, n, hits.load(), elapsed,
+                 tty ? "\033[K" : "\n");
+    if (tty && d == n) std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+  };
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      try {
+        bool hit = false;
+        RawResult r = run_raw_shared(cells_[i].s);
+        hit = r.cache_hit;
+        raw[i] = std::move(r.o);
+        if (hit) hits.fetch_add(1);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+      progress(done.fetch_add(1) + 1);
+    }
+  };
+
+  const int pool = std::max(1, std::min<int>(jobs, static_cast<int>(n)));
+  if (pool <= 1 || n <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(pool));
+    for (int i = 0; i < pool; ++i) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+
+  // Deterministic error reporting: first failing cell in plan order wins.
+  for (std::size_t i = 0; i < n; ++i)
+    if (errors[i]) std::rethrow_exception(errors[i]);
+
+  PlanResult result;
+  result.cells = n;
+  result.cache_hits = hits.load();
+  result.simulations = n - result.cache_hits;
+  result.jobs = pool;
+  result.outcomes.reserve(handles_.size());
+  for (const auto& h : handles_) {
+    harness::Outcome o = raw[h.cell];
+    finalize(h.s, o, h.allow_failure);
+    result.outcomes.push_back(std::move(o));
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace atacsim::exp

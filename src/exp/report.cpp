@@ -1,0 +1,221 @@
+#include "exp/report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <ostream>
+
+namespace atacsim::exp::report {
+namespace fs = std::filesystem;
+
+StatList outcome_stats(const harness::Outcome& o) {
+  StatList st;
+  const auto& r = o.run;
+  const auto& n = r.net;
+  const auto& m = r.mem;
+  const auto& e = o.energy;
+  auto u = [&](const char* k, std::uint64_t v) {
+    st.add(k, static_cast<double>(v));
+  };
+  // run
+  u("completion_cycles", r.completion_cycles);
+  st.add("simulated_seconds", o.seconds());
+  u("total_instructions", r.total_instructions);
+  st.add("avg_ipc", r.avg_ipc);
+  u("busy_cycles", r.core.busy_cycles);
+  st.add("wall_seconds", o.wall_seconds);
+  // network counters
+  u("enet_router_flits", n.enet_router_flits);
+  u("enet_link_flits", n.enet_link_flits);
+  u("recvnet_link_flits", n.recvnet_link_flits);
+  u("hub_flits", n.hub_flits);
+  u("onet_flits_sent", n.onet_flits_sent);
+  u("onet_flit_receptions", n.onet_flit_receptions);
+  u("onet_selects", n.onet_selects);
+  u("laser_unicast_cycles", n.laser_unicast_cycles);
+  u("laser_bcast_cycles", n.laser_bcast_cycles);
+  u("unicast_packets", n.unicast_packets);
+  u("bcast_packets", n.bcast_packets);
+  u("flits_injected", n.flits_injected);
+  u("recv_unicast_flits", n.recv_unicast_flits);
+  u("recv_bcast_flits", n.recv_bcast_flits);
+  // memory counters
+  u("l1i_accesses", m.l1i_accesses);
+  u("l1d_reads", m.l1d_reads);
+  u("l1d_writes", m.l1d_writes);
+  u("l2_reads", m.l2_reads);
+  u("l2_writes", m.l2_writes);
+  u("dir_reads", m.dir_reads);
+  u("dir_writes", m.dir_writes);
+  u("dram_reads", m.dram_reads);
+  u("dram_writes", m.dram_writes);
+  u("l1d_misses", m.l1d_misses);
+  u("l2_misses", m.l2_misses);
+  u("invalidations_sent", m.invalidations_sent);
+  u("bcast_invalidations", m.bcast_invalidations);
+  // ATAC+ link stats
+  st.add("swmr_utilization", o.swmr_utilization);
+  u("onet_unicasts", o.onet_unicasts);
+  u("onet_bcasts", o.onet_bcasts);
+  // energy (Joules)
+  st.add("energy_laser", e.laser);
+  st.add("energy_ring_tuning", e.ring_tuning);
+  st.add("energy_optical_other", e.optical_other);
+  st.add("energy_enet_dynamic", e.enet_dynamic);
+  st.add("energy_enet_static", e.enet_static);
+  st.add("energy_recvnet", e.recvnet);
+  st.add("energy_hub", e.hub);
+  st.add("energy_l1i", e.l1i);
+  st.add("energy_l1d", e.l1d);
+  st.add("energy_l2", e.l2);
+  st.add("energy_directory", e.directory);
+  st.add("energy_dram", e.dram);
+  st.add("energy_core_dd", e.core_dd);
+  st.add("energy_core_ndd", e.core_ndd);
+  st.add("energy_network", e.network());
+  st.add("energy_caches", e.caches());
+  st.add("energy_chip_no_core", e.chip_no_core());
+  st.add("energy_chip", e.chip());
+  // derived
+  st.add("edp", o.edp());
+  st.add("bcast_recv_fraction", o.bcast_recv_fraction());
+  return st;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// %.17g round-trips doubles exactly; JSON has no Inf/NaN literals, so
+/// guard them as null.
+std::string num(double v) {
+  if (v != v || v == std::numeric_limits<double>::infinity() ||
+      v == -std::numeric_limits<double>::infinity())
+    return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const std::string& name,
+                const PlanResult& r) {
+  os << "{\n"
+     << "  \"name\": \"" << json_escape(name) << "\",\n"
+     << "  \"schema\": \"atacsim-exp-report-v1\",\n"
+     << "  \"jobs\": " << r.jobs << ",\n"
+     << "  \"cells\": " << r.cells << ",\n"
+     << "  \"cache_hits\": " << r.cache_hits << ",\n"
+     << "  \"simulations\": " << r.simulations << ",\n"
+     << "  \"wall_seconds\": " << num(r.wall_seconds) << ",\n"
+     << "  \"outcomes\": [";
+  for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
+    const auto& o = r.outcomes[i];
+    os << (i ? ",\n" : "\n") << "    {\"app\": \"" << json_escape(o.app)
+       << "\", \"config\": \"" << json_escape(o.config)
+       << "\", \"finished\": " << (o.finished ? "true" : "false")
+       << ", \"verify_msg\": \"" << json_escape(o.verify_msg)
+       << "\", \"stats\": {";
+    const auto st = outcome_stats(o);
+    bool first = true;
+    for (const auto& [k, v] : st.items()) {
+      os << (first ? "" : ", ") << "\"" << json_escape(k) << "\": " << num(v);
+      first = false;
+    }
+    os << "}}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+void write_csv(std::ostream& os,
+               const std::vector<harness::Outcome>& outcomes) {
+  if (outcomes.empty()) {
+    os << "app,config,finished,verify_msg\n";
+    return;
+  }
+  // Stat names are identical across outcomes; the first row fixes the order.
+  const auto head = outcome_stats(outcomes.front());
+  os << "app,config,finished,verify_msg";
+  for (const auto& [k, v] : head.items()) {
+    (void)v;
+    os << ',' << k;
+  }
+  os << '\n';
+  auto field = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (const char c : s) {
+      if (c == '"') q += '"';
+      q += c;
+    }
+    return q + "\"";
+  };
+  for (const auto& o : outcomes) {
+    os << field(o.app) << ',' << field(o.config) << ','
+       << (o.finished ? 1 : 0) << ',' << field(o.verify_msg);
+    const auto st = outcome_stats(o);
+    for (const auto& [k, v] : st.items()) {
+      (void)k;
+      os << ',' << num(v);
+    }
+    os << '\n';
+  }
+}
+
+std::string report_dir() {
+  if (const char* e = std::getenv("ATACSIM_REPORT_DIR")) return e;
+  return "bench_reports";
+}
+
+std::vector<std::string> write_report(const std::string& name,
+                                      const PlanResult& r) {
+  const fs::path dir = report_dir();
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  std::vector<std::string> written;
+  const fs::path json = dir / (name + ".json");
+  {
+    std::ofstream os(json);
+    if (!os) return written;
+    write_json(os, name, r);
+    if (!os.good()) return written;
+  }
+  written.push_back(json.string());
+  const fs::path csv = dir / (name + ".csv");
+  {
+    std::ofstream os(csv);
+    if (!os) return written;
+    write_csv(os, r.outcomes);
+    if (!os.good()) return written;
+  }
+  written.push_back(csv.string());
+  return written;
+}
+
+}  // namespace atacsim::exp::report

@@ -1,0 +1,44 @@
+// Structured reporting for experiment results: serializes Outcomes (as flat
+// StatLists) to JSON and CSV so bench output is machine-readable in
+// addition to the printed tables.
+//
+// JSON schema ("atacsim-exp-report-v1"):
+//   { "name": ..., "schema": ..., "jobs": N, "cells": N, "cache_hits": N,
+//     "simulations": N, "wall_seconds": S,
+//     "outcomes": [ { "app": ..., "config": ..., "finished": bool,
+//                     "verify_msg": ..., "stats": { name: value, ... } } ] }
+// CSV: one row per outcome; columns app, config, finished, verify_msg, then
+// every stat name (same order for every row).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "exp/plan.hpp"
+#include "harness/runner.hpp"
+
+namespace atacsim::exp::report {
+
+/// Flattens one outcome into a named stat list: run counters, energy
+/// breakdown, and the paper's derived metrics (seconds, EDP, ...).
+StatList outcome_stats(const harness::Outcome& o);
+
+/// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
+std::string json_escape(const std::string& s);
+
+void write_json(std::ostream& os, const std::string& name,
+                const PlanResult& r);
+void write_csv(std::ostream& os,
+               const std::vector<harness::Outcome>& outcomes);
+
+/// Report directory: $ATACSIM_REPORT_DIR if set, else "bench_reports".
+std::string report_dir();
+
+/// Writes <dir>/<name>.json and <dir>/<name>.csv (creating the directory);
+/// returns the paths written, empty on I/O failure.
+std::vector<std::string> write_report(const std::string& name,
+                                      const PlanResult& r);
+
+}  // namespace atacsim::exp::report

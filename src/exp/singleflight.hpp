@@ -1,0 +1,59 @@
+// In-process request coalescing ("singleflight"): when several threads ask
+// for the same key concurrently, exactly one executes the producer function
+// and every caller receives that one result. Used to guarantee that a
+// scenario cache miss is simulated once no matter how many plan cells (or
+// bench binaries' worker threads) need it at the same time.
+//
+// Keys are only coalesced while a flight is in progress; once it lands the
+// key is forgotten, because the on-disk scenario cache takes over for
+// later requests.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace atacsim::exp {
+
+template <class V>
+class SingleFlight {
+ public:
+  /// Returns fn()'s value for `key`, executing fn in at most one of the
+  /// concurrently-arriving callers. Exceptions thrown by fn propagate to
+  /// every waiter of that flight.
+  V run(const std::string& key, const std::function<V()>& fn) {
+    std::shared_future<V> flight;
+    bool leader = false;
+    std::promise<V> mine;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = inflight_.find(key);
+      if (it == inflight_.end()) {
+        leader = true;
+        flight = mine.get_future().share();
+        inflight_.emplace(key, flight);
+      } else {
+        flight = it->second;
+      }
+    }
+    if (leader) {
+      try {
+        mine.set_value(fn());
+      } catch (...) {
+        mine.set_exception(std::current_exception());
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight_.erase(key);
+    }
+    return flight.get();
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::string, std::shared_future<V>> inflight_;
+};
+
+}  // namespace atacsim::exp

@@ -1,5 +1,8 @@
 #include "harness/cache.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -17,9 +20,15 @@ std::string cache_dir() {
 }
 
 std::string scenario_key(const Scenario& s) {
+  // Model-version prefix: bump whenever a simulator change alters counters
+  // for an unchanged scenario (e.g. v2 = deterministic first-touch address
+  // translation), so stale cache entries from older binaries are ignored
+  // rather than silently served.
+  constexpr const char* kModelVersion = "v2";
   const auto& m = s.mp;
   std::ostringstream k;
-  k << s.app << "_n" << m.num_cores << "_" << to_string(m.network) << "_rt";
+  k << kModelVersion << "_" << s.app << "_n" << m.num_cores << "_"
+    << to_string(m.network) << "_rt";
   switch (m.routing) {
     case RoutingPolicy::kCluster: k << "C"; break;
     case RoutingPolicy::kDistance: k << "D" << m.r_thres; break;
@@ -147,25 +156,50 @@ bool load(std::istream& is, Outcome& o) {
   return true;
 }
 
+fs::path entry_path(const Scenario& s) {
+  return fs::path(cache_dir()) / (scenario_key(s) + ".txt");
+}
+
 }  // namespace
 
-Outcome run_scenario_cached(const Scenario& s, bool allow_failure) {
-  const fs::path dir = cache_dir();
-  const fs::path file = dir / (scenario_key(s) + ".txt");
-
-  Outcome o;
+bool try_load_cached(const Scenario& s, Outcome& o) {
+  o = Outcome{};
   o.app = s.app;
   o.config = config_name(s.mp);
-  bool loaded = false;
-  if (fs::exists(file)) {
-    std::ifstream is(file);
-    loaded = load(is, o);
+  std::ifstream is(entry_path(s));
+  return is && load(is, o);
+}
+
+void store_cached(const Scenario& s, const Outcome& o) {
+  const fs::path file = entry_path(s);
+  fs::create_directories(file.parent_path());
+  // Unique temp name per process and store() call, committed with an atomic
+  // rename so concurrent readers never see a torn entry and competing
+  // writers simply race to install equivalent contents.
+  static std::atomic<std::uint64_t> seq{0};
+  fs::path tmp = file;
+  tmp += ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(seq.fetch_add(1));
+  {
+    std::ofstream os(tmp);
+    store(os, o);
+    if (!os.good()) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return;
+    }
   }
+  std::error_code ec;
+  fs::rename(tmp, file, ec);
+  if (ec) fs::remove(tmp, ec);
+}
+
+Outcome run_scenario_cached(const Scenario& s, bool allow_failure) {
+  Outcome o;
+  const bool loaded = try_load_cached(s, o);
   if (!loaded) {
     o = run_scenario(s, allow_failure);
-    fs::create_directories(dir);
-    std::ofstream os(file);
-    store(os, o);
+    store_cached(s, o);
   } else {
     // Recompute energy for the (possibly different) photonic flavour.
     const power::EnergyModel em(s.mp);

@@ -17,7 +17,23 @@ namespace atacsim::harness {
 /// Cache key: every simulation-relevant field of the scenario.
 std::string scenario_key(const Scenario& s);
 
-/// Like run_scenario(), but consults/updates the on-disk cache.
+/// Loads the cached counters for `s` into `o` (app/config stamped from the
+/// scenario; energy left zero for the caller to compute under its own
+/// photonic flavour). Returns false on miss or a torn/invalid entry.
+/// Safe against concurrent writers in other threads/processes: entries are
+/// committed atomically, so a reader sees either a complete entry or none.
+bool try_load_cached(const Scenario& s, Outcome& o);
+
+/// Commits `o` to the cache: written to a unique temp file in the cache
+/// directory, then atomically rename(2)d into place, so concurrent readers
+/// and competing writers (other processes included) never observe a partial
+/// entry. Last writer wins, which is harmless — entries for one key are
+/// deterministic.
+void store_cached(const Scenario& s, const Outcome& o);
+
+/// Like run_scenario(), but consults/updates the on-disk cache. Not
+/// coalesced: two concurrent callers with the same key may both simulate
+/// (see exp::run_scenario_shared for the singleflight version).
 Outcome run_scenario_cached(const Scenario& s, bool allow_failure = false);
 
 /// Cache directory in use.

@@ -12,6 +12,14 @@ atacsim::Addr trace_line() {
   }();
   return v;
 }
+
+// Hoisted out of the per-event paths: getenv on every delivered message is
+// measurable, and getenv is not guaranteed safe against concurrent
+// setenv when machines run on multiple threads.
+bool trace_inv() {
+  static const bool v = std::getenv("ATACSIM_TRACE_INV") != nullptr;
+  return v;
+}
 }  // namespace
 
 namespace atacsim::sim {
@@ -54,7 +62,7 @@ Machine::Machine(const MachineParams& mp)
 
 void Machine::deliver(CoreId receiver, const mem::CohMsg& m, Cycle at) {
   if ((trace_line() && m.line == trace_line()) ||
-      (std::getenv("ATACSIM_TRACE_INV") &&
+      (trace_inv() &&
        (m.type == mem::CohType::kInvReq || m.type == mem::CohType::kInvAck))) {
     std::fprintf(stderr, "[%llu] DLVR %s line=%llx ->core%d (from %d) seq=%u\n",
                  (unsigned long long)at, mem::to_string(m.type),
@@ -82,7 +90,7 @@ void Machine::deliver(CoreId receiver, const mem::CohMsg& m, Cycle at) {
 
 Cycle Machine::send_msg(Cycle t, const mem::CohMsg& m) {
   if ((trace_line() && m.line == trace_line()) ||
-      (std::getenv("ATACSIM_TRACE_INV") && m.type == mem::CohType::kInvReq)) {
+      (trace_inv() && m.type == mem::CohType::kInvReq)) {
     std::fprintf(stderr, "[%llu] SEND %s line=%llx %d->%d req=%d seq=%u data=%d\n",
                  (unsigned long long)t, mem::to_string(m.type),
                  (unsigned long long)m.line, m.src, m.dst, m.requester, m.seq,

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/counters.hpp"
@@ -51,6 +52,29 @@ class Machine {
   /// the quiescence invariant the integration tests assert.
   bool quiescent() const;
 
+  /// Deterministic address translation for application data.
+  ///
+  /// Kernels address simulated memory with host pointers, but raw host
+  /// addresses are hidden shared state: the allocator hands out different
+  /// layouts run to run (and under concurrent Machines on worker threads),
+  /// which would silently change cache sets, home slices and therefore
+  /// every counter. Instead each machine assigns frames in first-touch
+  /// order — a function only of the (deterministic) simulation itself — so
+  /// a given program and seed produce bit-identical results serially,
+  /// repeatedly, and on any number of threads.
+  ///
+  /// The granule is 16 bytes: malloc's guaranteed alignment, so every
+  /// distinct allocation starts on a granule boundary and the grouping of
+  /// data within a granule is fixed by struct layout alone — not by where
+  /// the allocator happened to place the object relative to a cache line.
+  static constexpr int kGranuleBits = 4;
+  Addr frame_for(Addr host_granule) {
+    const auto [it, inserted] =
+        frames_.try_emplace(host_granule, next_frame_);
+    if (inserted) ++next_frame_;
+    return it->second;
+  }
+
  private:
   Cycle send_msg(Cycle t, const mem::CohMsg& m);
   void deliver(CoreId receiver, const mem::CohMsg& m, Cycle at);
@@ -65,6 +89,10 @@ class Machine {
   mem::HomeMap homes_;
   std::vector<std::unique_ptr<mem::CacheController>> caches_;
   std::vector<std::unique_ptr<mem::DirectorySlice>> dirs_;
+  std::unordered_map<Addr, Addr> frames_;
+  // Frame numbers start away from 0 so no translated line lands on the
+  // (often special-cased) zero address.
+  Addr next_frame_ = 16;
 };
 
 }  // namespace atacsim::sim

@@ -48,8 +48,11 @@ TEST(Program, MissesCostMoreThanHits) {
   auto data = std::make_unique<std::vector<std::uint64_t>>(1024, 0);
   auto* v = data.get();
   auto body = [v](CoreCtx& c) -> Task<void> {
+    // Stride 2 touches every 16-byte translation granule, so the sweep
+    // covers all 128 simulated lines regardless of how first-touch
+    // translation packs granules into frames.
     for (int rep = 0; rep < 2; ++rep)
-      for (int i = 0; i < 1024; i += 8) co_await c.read(&(*v)[i]);
+      for (int i = 0; i < 1024; i += 2) co_await c.read(&(*v)[i]);
   };
   Program prog(small());
   prog.spawn_all(body, 1);

@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "exp/plan.hpp"
+#include "exp/report.hpp"
+#include "exp/singleflight.hpp"
+#include "harness/cache.hpp"
+
+namespace atacsim::exp {
+namespace {
+
+namespace fs = std::filesystem;
+
+harness::Scenario small_scenario(const char* app, std::uint64_t seed = 12345) {
+  harness::Scenario s;
+  s.app = app;
+  s.mp = MachineParams::small(8, 2);
+  s.scale = 0.05;
+  s.seed = seed;
+  return s;
+}
+
+/// Scoped private cache directory so tests never touch the shared cache.
+class ScopedCacheDir {
+ public:
+  explicit ScopedCacheDir(const char* tag)
+      : dir_(fs::temp_directory_path() / tag) {
+    fs::remove_all(dir_);
+    setenv("ATACSIM_CACHE", dir_.c_str(), 1);
+  }
+  ~ScopedCacheDir() {
+    unsetenv("ATACSIM_CACHE");
+    fs::remove_all(dir_);
+  }
+  const fs::path& path() const { return dir_; }
+  std::size_t entries() const {
+    if (!fs::exists(dir_)) return 0;
+    std::size_t n = 0;
+    for (const auto& e : fs::directory_iterator(dir_)) {
+      (void)e;
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  fs::path dir_;
+};
+
+TEST(SingleFlight, CoalescesConcurrentCallersToOneExecution) {
+  SingleFlight<int> sf;
+  std::atomic<int> executions{0};
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  const int kThreads = 8;
+
+  // The leader holds the flight open long enough that every gated thread
+  // joins it (they are released simultaneously and enter run() in
+  // nanoseconds; the hold is milliseconds).
+  auto fn = [&] {
+    executions.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    return 42;
+  };
+
+  std::vector<std::thread> threads;
+  std::vector<int> results(kThreads, 0);
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back([&, i] {
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      results[static_cast<std::size_t>(i)] = sf.run("key", fn);
+    });
+  while (ready.load() != kThreads) std::this_thread::yield();
+  go.store(true);
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(executions.load(), 1);
+  for (int r : results) EXPECT_EQ(r, 42);
+}
+
+TEST(SingleFlight, PropagatesExceptionsToAllWaiters) {
+  SingleFlight<int> sf;
+  EXPECT_THROW(
+      sf.run("boom", []() -> int { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  // The flight is forgotten after landing; a later call re-executes.
+  EXPECT_EQ(sf.run("boom", [] { return 7; }), 7);
+}
+
+TEST(SingleFlight, DistinctKeysDoNotCoalesce) {
+  SingleFlight<int> sf;
+  EXPECT_EQ(sf.run("a", [] { return 1; }), 1);
+  EXPECT_EQ(sf.run("b", [] { return 2; }), 2);
+}
+
+TEST(Plan, DedupesCellsWithIdenticalScenarioKeys) {
+  ExperimentPlan plan;
+  const auto s = small_scenario("radix");
+  const auto h0 = plan.add(s);
+  const auto h1 = plan.add(s);  // exact duplicate
+  auto flavoured = s;           // photonic flavour is energy-only: same key
+  flavoured.mp.photonics = PhotonicFlavor::kCons;
+  const auto h2 = plan.add(flavoured);
+  auto different = s;
+  different.seed = 999;  // simulation-relevant: its own cell
+  const auto h3 = plan.add(different);
+
+  EXPECT_EQ(plan.size(), 4u);
+  EXPECT_EQ(plan.unique_cells(), 2u);
+  EXPECT_EQ(h0, 0u);
+  EXPECT_EQ(h1, 1u);
+  EXPECT_EQ(h2, 2u);
+  EXPECT_EQ(h3, 3u);
+}
+
+TEST(Plan, SharedCellFansOutWithPerConsumerEnergy) {
+  ScopedCacheDir cache("atacsim_exp_fanout");
+  ExperimentPlan plan;
+  const auto s = small_scenario("radix");
+  const auto def = plan.add(s);
+  auto cons = s;
+  cons.mp.photonics = PhotonicFlavor::kCons;
+  const auto hcons = plan.add(cons);
+
+  ExecOptions opt;
+  opt.jobs = 2;
+  opt.progress = false;
+  const auto res = plan.run(opt);
+
+  ASSERT_EQ(res.outcomes.size(), 2u);
+  EXPECT_EQ(res.cells, 1u);  // one simulation served both flavours
+  const auto& a = res.outcomes[def];
+  const auto& b = res.outcomes[hcons];
+  EXPECT_EQ(a.run.completion_cycles, b.run.completion_cycles);
+  EXPECT_EQ(a.config, "ATAC+");
+  EXPECT_EQ(b.config, "ATAC+(Cons)");
+  // Cons has no laser gating and heated rings: strictly more energy.
+  EXPECT_GT(b.energy.laser, a.energy.laser);
+  EXPECT_GT(b.energy.ring_tuning, 0.0);
+  EXPECT_DOUBLE_EQ(a.energy.ring_tuning, 0.0);
+}
+
+TEST(Plan, ParallelExecutionIsBitIdenticalToSerial) {
+  ExperimentPlan plan;
+  for (const char* app : {"radix", "fft", "lu_contig", "dynamic_graph"}) {
+    plan.add(small_scenario(app));
+    auto emesh = small_scenario(app);
+    emesh.mp.network = NetworkKind::kEMeshBCast;
+    plan.add(emesh);
+  }
+
+  PlanResult serial, parallel;
+  {
+    ScopedCacheDir cache("atacsim_exp_serial");
+    ExecOptions opt;
+    opt.jobs = 1;
+    opt.progress = false;
+    serial = plan.run(opt);
+    EXPECT_EQ(serial.cache_hits, 0u);
+  }
+  {
+    ScopedCacheDir cache("atacsim_exp_parallel");
+    ExecOptions opt;
+    opt.jobs = 4;
+    opt.progress = false;
+    parallel = plan.run(opt);
+    EXPECT_EQ(parallel.cache_hits, 0u);
+  }
+
+  ASSERT_EQ(serial.outcomes.size(), parallel.outcomes.size());
+  for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+    const auto& a = serial.outcomes[i];
+    const auto& b = parallel.outcomes[i];
+    EXPECT_EQ(a.app, b.app);
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.verify_msg, "");
+    EXPECT_EQ(b.verify_msg, "");
+    // NetCounters, MemCounters, energies, derived metrics: every stat the
+    // report serializes must be bit-identical (wall clock excluded — it is
+    // host time, not simulated state).
+    const auto sa = report::outcome_stats(a);
+    const auto sb = report::outcome_stats(b);
+    ASSERT_EQ(sa.items().size(), sb.items().size());
+    for (std::size_t k = 0; k < sa.items().size(); ++k) {
+      EXPECT_EQ(sa.items()[k].first, sb.items()[k].first);
+      if (sa.items()[k].first == "wall_seconds") continue;
+      EXPECT_EQ(sa.items()[k].second, sb.items()[k].second)
+          << a.app << "/" << a.config << " stat " << sa.items()[k].first;
+    }
+  }
+}
+
+TEST(Plan, CacheHitsAreCountedOnSecondRun) {
+  ScopedCacheDir cache("atacsim_exp_hits");
+  ExperimentPlan plan;
+  plan.add(small_scenario("radix"));
+  plan.add(small_scenario("fft"));
+  ExecOptions opt;
+  opt.jobs = 2;
+  opt.progress = false;
+  const auto cold = plan.run(opt);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.simulations, 2u);
+  const auto warm = plan.run(opt);
+  EXPECT_EQ(warm.cache_hits, 2u);
+  EXPECT_EQ(warm.simulations, 0u);
+  ASSERT_EQ(cold.outcomes.size(), warm.outcomes.size());
+  for (std::size_t i = 0; i < cold.outcomes.size(); ++i)
+    EXPECT_EQ(cold.outcomes[i].run.completion_cycles,
+              warm.outcomes[i].run.completion_cycles);
+}
+
+TEST(Plan, ConcurrentSameScenarioSimulatesExactlyOnce) {
+  ScopedCacheDir cache("atacsim_exp_sflight");
+  const auto s = small_scenario("radix", 777);
+  const std::uint64_t before = simulations_executed();
+
+  const int kThreads = 6;
+  std::atomic<int> hits{0};
+  std::vector<std::thread> threads;
+  std::vector<harness::Outcome> outs(kThreads);
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back([&, i] {
+      bool hit = false;
+      outs[static_cast<std::size_t>(i)] =
+          run_scenario_shared(s, /*allow_failure=*/false, &hit);
+      if (hit) hits.fetch_add(1);
+    });
+  for (auto& t : threads) t.join();
+
+  // Every thread raced the same key on a cold cache: singleflight must have
+  // let exactly one simulate; stragglers that arrived after the flight
+  // landed were served by the disk cache.
+  EXPECT_EQ(simulations_executed() - before, 1u);
+  EXPECT_EQ(cache.entries(), 1u);
+  for (int i = 1; i < kThreads; ++i)
+    EXPECT_EQ(outs[static_cast<std::size_t>(i)].run.completion_cycles,
+              outs[0].run.completion_cycles);
+}
+
+TEST(Cache, StoreCommitIsAtomicAgainstConcurrentReaders) {
+  ScopedCacheDir cache("atacsim_exp_atomic");
+  const auto s = small_scenario("fft", 31);
+  const auto reference = harness::run_scenario(s, /*allow_failure=*/false);
+
+  // Hammer the same entry from writer and reader threads; a torn entry
+  // would surface as try_load_cached returning true with wrong counters.
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::thread writer([&] {
+    for (int i = 0; i < 200; ++i) harness::store_cached(s, reference);
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r)
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        harness::Outcome o;
+        if (harness::try_load_cached(s, o) &&
+            o.run.completion_cycles != reference.run.completion_cycles)
+          bad.fetch_add(1);
+      }
+    });
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(bad.load(), 0);
+
+  // No temp-file litter left behind.
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(Jobs, EnvAndDefaultResolution) {
+  setenv("ATACSIM_JOBS", "3", 1);
+  EXPECT_EQ(default_jobs(), 3);
+  setenv("ATACSIM_JOBS", "0", 1);
+  EXPECT_EQ(default_jobs(), 1);  // clamped
+  unsetenv("ATACSIM_JOBS");
+  EXPECT_GE(default_jobs(), 1);
+}
+
+}  // namespace
+}  // namespace atacsim::exp

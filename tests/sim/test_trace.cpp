@@ -78,13 +78,24 @@ TEST(Trace, ReplayUnderstatesTheSlowNetworkPenalty) {
   core::Program prog(capture_mp);
   TraceRecorder rec(64);
   prog.set_tracer(&rec);
-  auto body = [v](core::CoreCtx& c) -> core::Task<void> {
-    for (int rep = 0; rep < 2; ++rep)
-      for (int i = 0; i < 1024; i += 16)
-        co_await c.rmw(&(*v)[static_cast<std::size_t>((i + c.id() * 7) & 1023)],
+  // Every core read-shares the same 64 elements (multiples of 16, so the
+  // sharing is index-structural and survives address translation), then
+  // upgrades one line — each upgrade finds > num_hw_sharers readers and
+  // broadcasts invalidations, which the photonic network delivers in one
+  // shot and the pure mesh serializes as N-1 unicasts. That asymmetric
+  // traffic is what makes completion network-sensitive.
+  auto make_body = [](std::vector<std::uint64_t>* a) {
+    return [a](core::CoreCtx& c) -> core::Task<void> {
+      for (int rep = 0; rep < 4; ++rep) {
+        for (int i = 0; i < 1024; i += 16)
+          co_await c.read(
+              &(*a)[static_cast<std::size_t>((i + c.id() * 16) & 1023)]);
+        co_await c.rmw(&(*a)[static_cast<std::size_t>(c.id() * 16)],
                        [](std::uint64_t x) { return x + 1; });
+      }
+    };
   };
-  prog.spawn_all(body, 64);
+  prog.spawn_all(make_body(v), 64);
   ASSERT_TRUE(prog.run(1'000'000'000).finished);
   const auto trace = rec.take();
 
@@ -92,33 +103,15 @@ TEST(Trace, ReplayUnderstatesTheSlowNetworkPenalty) {
   slow.network = NetworkKind::kEMeshPure;
   // Execution-driven on the slow network:
   auto data2 = std::make_unique<std::vector<std::uint64_t>>(1024, 0);
-  auto* v2 = data2.get();
   core::Program prog2(slow);
-  prog2.spawn_all(
-      [v2](core::CoreCtx& c) -> core::Task<void> {
-        for (int rep = 0; rep < 2; ++rep)
-          for (int i = 0; i < 1024; i += 16)
-            co_await c.rmw(
-                &(*v2)[static_cast<std::size_t>((i + c.id() * 7) & 1023)],
-                [](std::uint64_t x) { return x + 1; });
-      },
-      64);
+  prog2.spawn_all(make_body(data2.get()), 64);
   const auto exec_slow = prog2.run(1'000'000'000);
   ASSERT_TRUE(exec_slow.finished);
 
   // Execution-driven on the fast network (same body, fresh data).
   auto data3 = std::make_unique<std::vector<std::uint64_t>>(1024, 0);
-  auto* v3 = data3.get();
   core::Program prog3(capture_mp);
-  prog3.spawn_all(
-      [v3](core::CoreCtx& c) -> core::Task<void> {
-        for (int rep = 0; rep < 2; ++rep)
-          for (int i = 0; i < 1024; i += 16)
-            co_await c.rmw(
-                &(*v3)[static_cast<std::size_t>((i + c.id() * 7) & 1023)],
-                [](std::uint64_t x) { return x + 1; });
-      },
-      64);
+  prog3.spawn_all(make_body(data3.get()), 64);
   const auto exec_fast = prog3.run(1'000'000'000);
   ASSERT_TRUE(exec_fast.finished);
 
