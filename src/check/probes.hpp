@@ -1,0 +1,64 @@
+// Cross-layer invariant probes.
+//
+// Each probe is a pure function over snapshots the owning layer hands it, so
+// this library depends only downward (memory/network/power/common) and the
+// layers being validated (sim::Machine, the harness, the exp reporter) can
+// link against it without cycles. Probes raise InvariantViolation and return
+// nothing: a probe that returns simply found the model self-consistent.
+//
+// What each probe encodes about the paper's model is documented in
+// DESIGN.md section 9.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/invariant.hpp"
+#include "common/counters.hpp"
+#include "common/stats.hpp"
+#include "memory/directory.hpp"
+#include "network/packet.hpp"
+#include "power/energy_model.hpp"
+
+namespace atacsim::check {
+
+/// (a) Coherence: run after a directory transaction on `line` completes.
+/// `cached` lists every core currently holding a non-Invalid copy. Verifies
+///   * every cached copy is tracked (owner, sharer pointer, or the global
+///     broadcast bit) — the direction ACKwise_k/Dir_kB must never lose;
+///   * at most one Modified copy exists, and only at the tracked owner;
+///   * the pointer list respects the k bound and the global-bit sharer
+///     count stays within [0, num_cores].
+void check_coherence(
+    Addr line, const mem::DirectorySlice::LineProbe& dir,
+    const std::vector<std::pair<CoreId, mem::LineState>>& cached, int k,
+    int num_cores, Cycle now);
+
+/// (b1) Per-class flit conservation over a whole run: every unicast payload
+/// flit offered is received exactly once, every broadcast payload flit is
+/// received by exactly num_cores - 1 cores.
+void check_flow_conservation(const NetCounters& n, int num_cores, Cycle now);
+
+/// (b2) Ledger sanity: no channel group may have been busy for more than
+/// elapsed-cycles x channel-count (reservation horizons may run ahead of
+/// the clock mid-run, but total busy time cannot once the queue drains).
+void check_channel_usage(const std::vector<net::ChannelUsage>& usage,
+                         Cycle elapsed);
+
+/// (b3) Message-level delivery conservation: every coherence/data message
+/// handed to the network was delivered to exactly the expected receiver set
+/// (1 for a unicast, num_cores for a broadcast incl. the source loopback).
+void check_delivery(std::uint64_t expected, std::uint64_t delivered,
+                    const char* what, Cycle now);
+
+/// (c) Energy: every component finite and non-negative.
+void check_energy(const power::EnergyBreakdown& e, const std::string& context);
+
+/// (c) Energy, reporting side: every exported stat finite, every energy_*
+/// stat non-negative, and the exported network/cache/chip totals equal to
+/// the sum of their exported components within 1e-6 (relative).
+void check_energy_stats(const StatList& st, const std::string& context);
+
+}  // namespace atacsim::check

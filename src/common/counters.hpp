@@ -31,6 +31,14 @@ struct NetCounters {
   std::uint64_t recv_unicast_flits = 0;  ///< receiver-side unicast flits
   std::uint64_t recv_bcast_flits = 0;    ///< receiver-side broadcast flits
 
+  // --- flow-conservation ledger (src/check) ---
+  // Logical payload flits offered per class, counted once per packet
+  // regardless of how many physical copies a model makes. Conservation:
+  // recv_unicast_flits == unicast_flits_offered, and
+  // recv_bcast_flits == bcast_flits_offered x (num_cores - 1).
+  std::uint64_t unicast_flits_offered = 0;
+  std::uint64_t bcast_flits_offered = 0;
+
   Accumulator packet_latency;  ///< injection -> (last) delivery, cycles
 
   void add(const NetCounters& o) {
@@ -48,6 +56,8 @@ struct NetCounters {
     flits_injected += o.flits_injected;
     recv_unicast_flits += o.recv_unicast_flits;
     recv_bcast_flits += o.recv_bcast_flits;
+    unicast_flits_offered += o.unicast_flits_offered;
+    bcast_flits_offered += o.bcast_flits_offered;
   }
 };
 

@@ -35,7 +35,6 @@ class Program {
 
   /// Enables memory-trace capture for all cores (see sim/trace.hpp).
   void set_tracer(sim::TraceRecorder* t) {
-    if (t) t->resize_last_issue(machine_->params().num_cores);
     for (auto& c : ctxs_) c->set_tracer(t);
   }
 

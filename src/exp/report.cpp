@@ -7,6 +7,8 @@
 #include <limits>
 #include <ostream>
 
+#include "check/probes.hpp"
+
 namespace atacsim::exp::report {
 namespace fs = std::filesystem;
 
@@ -41,6 +43,8 @@ StatList outcome_stats(const harness::Outcome& o) {
   u("flits_injected", n.flits_injected);
   u("recv_unicast_flits", n.recv_unicast_flits);
   u("recv_bcast_flits", n.recv_bcast_flits);
+  u("unicast_flits_offered", n.unicast_flits_offered);
+  u("bcast_flits_offered", n.bcast_flits_offered);
   // memory counters
   u("l1i_accesses", m.l1i_accesses);
   u("l1d_reads", m.l1d_reads);
@@ -81,6 +85,8 @@ StatList outcome_stats(const harness::Outcome& o) {
   // derived
   st.add("edp", o.edp());
   st.add("bcast_recv_fraction", o.bcast_recv_fraction());
+  if (check::env_validation_enabled())
+    check::check_energy_stats(st, o.app + " on " + o.config);
   return st;
 }
 

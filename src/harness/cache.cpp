@@ -22,9 +22,10 @@ std::string cache_dir() {
 std::string scenario_key(const Scenario& s) {
   // Model-version prefix: bump whenever a simulator change alters counters
   // for an unchanged scenario (e.g. v2 = deterministic first-touch address
-  // translation), so stale cache entries from older binaries are ignored
+  // translation, v3 = offered-flit conservation counters + injective key
+  // sanitization), so stale cache entries from older binaries are ignored
   // rather than silently served.
-  constexpr const char* kModelVersion = "v2";
+  constexpr const char* kModelVersion = "v3";
   const auto& m = s.mp;
   std::ostringstream k;
   k << kModelVersion << "_" << s.app << "_n" << m.num_cores << "_"
@@ -38,9 +39,27 @@ std::string scenario_key(const Scenario& s) {
     << to_string(m.coherence) << m.num_hw_sharers << "_t" << m.onet_link_delay
     << "." << m.onet_select_data_lag << "." << m.starnets_per_cluster << "_s"
     << s.scale << "_x" << s.seed;
-  std::string key = k.str();
-  for (auto& c : key)
-    if (c == ' ' || c == '/' || c == '+') c = (c == '+') ? 'P' : '-';
+  // Injective filename sanitization: every byte outside [A-Za-z0-9._-] is
+  // percent-encoded ('%' itself included), so two distinct scenarios can
+  // never share a cache entry. (The old map sent both ' ' and '/' to '-',
+  // which collided e.g. app names differing only in those characters.)
+  const std::string raw = k.str();
+  std::string key;
+  key.reserve(raw.size());
+  for (const char rc : raw) {
+    const unsigned char c = static_cast<unsigned char>(rc);
+    const bool safe = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '-';
+    if (safe) {
+      key += rc;
+    } else {
+      static const char* hex = "0123456789ABCDEF";
+      key += '%';
+      key += hex[c >> 4];
+      key += hex[c & 0xF];
+    }
+  }
   return key;
 }
 
@@ -74,6 +93,8 @@ void store(std::ostream& os, const Outcome& o) {
       {"flits_injected", static_cast<double>(n.flits_injected)},
       {"recv_unicast_flits", static_cast<double>(n.recv_unicast_flits)},
       {"recv_bcast_flits", static_cast<double>(n.recv_bcast_flits)},
+      {"unicast_flits_offered", static_cast<double>(n.unicast_flits_offered)},
+      {"bcast_flits_offered", static_cast<double>(n.bcast_flits_offered)},
       {"l1i_accesses", static_cast<double>(m.l1i_accesses)},
       {"l1d_reads", static_cast<double>(m.l1d_reads)},
       {"l1d_writes", static_cast<double>(m.l1d_writes)},
@@ -139,6 +160,8 @@ bool load(std::istream& is, Outcome& o) {
   n.flits_injected = gu("flits_injected");
   n.recv_unicast_flits = gu("recv_unicast_flits");
   n.recv_bcast_flits = gu("recv_bcast_flits");
+  n.unicast_flits_offered = gu("unicast_flits_offered");
+  n.bcast_flits_offered = gu("bcast_flits_offered");
   auto& m = r.mem;
   m.l1i_accesses = gu("l1i_accesses");
   m.l1d_reads = gu("l1d_reads");

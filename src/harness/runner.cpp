@@ -3,6 +3,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "check/probes.hpp"
+
 namespace atacsim::harness {
 
 double Outcome::seconds() const {
@@ -85,6 +87,8 @@ Outcome run_scenario(const Scenario& s, bool allow_failure) {
   out.energy =
       em.compute(out.run.net, out.run.mem, out.run.core,
                  static_cast<double>(out.run.completion_cycles));
+  if (prog.machine().validation())
+    check::check_energy(out.energy, s.app + " on " + out.config);
 
   if (!allow_failure && !out.verify_msg.empty())
     throw std::runtime_error(s.app + " on " + out.config + ": " +

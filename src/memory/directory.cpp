@@ -216,6 +216,8 @@ void DirectorySlice::complete(Addr line) {
   }
   send(rep);
 
+  if (env_.post_txn) env_.post_txn(line, slice_);
+
   // Serve the next queued request for this line immediately — leaving a
   // cycle gap would let a newly arriving request clobber the queued one's
   // transaction slot.
@@ -322,6 +324,33 @@ void DirectorySlice::handle(const CohMsg& m) {
   }
 }
 
+
+bool DirectorySlice::LineProbe::covers(CoreId c) const {
+  if (global) return true;
+  if (c == owner) return true;
+  return std::find(ptrs.begin(), ptrs.end(), c) != ptrs.end();
+}
+
+DirectorySlice::LineProbe DirectorySlice::probe_line(Addr line) const {
+  LineProbe p;
+  const auto it = dir_.find(line);
+  if (it == dir_.end()) return p;
+  const LineInfo& li = it->second;
+  p.state = li.state;
+  p.owner = li.owner;
+  p.global = li.sharers.global();
+  p.count = li.sharers.count();
+  p.ptrs = li.sharers.pointers();
+  return p;
+}
+
+void DirectorySlice::debug_corrupt_forget_line(Addr line) {
+  const auto it = dir_.find(line);
+  if (it == dir_.end()) return;
+  it->second.sharers.clear();
+  it->second.owner = kInvalidCore;
+  it->second.state = LineState::kInvalid;
+}
 
 std::vector<DirectorySlice::TxnDebug> DirectorySlice::debug_active() const {
   std::vector<TxnDebug> out;

@@ -66,6 +66,30 @@ class DirectorySlice {
   std::uint16_t current_seq() const { return seq_; }
   std::size_t active_transactions() const { return active_.size(); }
 
+  /// Directory-side snapshot of one line for the validation layer
+  /// (src/check): everything the coherence probe needs to compare tracked
+  /// state against the caches.
+  struct LineProbe {
+    LineState state = LineState::kInvalid;
+    CoreId owner = kInvalidCore;
+    bool global = false;     ///< broadcast bit set (sharers untracked)
+    int count = 0;           ///< exact sharer count while global
+    std::vector<CoreId> ptrs;
+
+    /// True when the directory accounts for a copy at `c`.
+    bool covers(CoreId c) const;
+  };
+  /// Snapshot of `line` as this slice tracks it (Invalid default state if
+  /// the line was never touched here).
+  LineProbe probe_line(Addr line) const;
+
+  /// Fault injection for the checker's mutation tests: makes the directory
+  /// forget every tracked copy of `line` (sharers, owner, state) without
+  /// telling the caches — the next transaction on the line then exposes an
+  /// untracked sharer, which the coherence probe must catch. Never called
+  /// outside tests.
+  void debug_corrupt_forget_line(Addr line);
+
   /// Diagnostic snapshot of stuck transactions (liveness debugging/tests).
   struct TxnDebug {
     Addr line;

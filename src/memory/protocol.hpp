@@ -72,6 +72,11 @@ struct MemEnv {
   /// port is free again (back-pressure; callers serialize their sends on it).
   std::function<Cycle(Cycle t, const CohMsg& m)> send;
 
+  /// Optional validation hook (src/check): fires after a directory
+  /// transaction on `line` completes, so the machine can cross-check
+  /// directory tracking against every cache. Null when validation is off.
+  std::function<void(Addr line, HubId slice)> post_txn;
+
   Cycle now() const { return now_fn(); }
   std::function<Cycle()> now_fn;
 };

@@ -148,6 +148,7 @@ Cycle AtacModel::onet_broadcast(Cycle t, CoreId src, int flits,
 
   ++counters_.bcast_packets;
   counters_.flits_injected += flits;
+  counters_.bcast_flits_offered += flits;
   counters_.recv_bcast_flits +=
       static_cast<std::uint64_t>(flits) * (geom_.num_cores() - 1);
   counters_.packet_latency.sample(static_cast<double>(latest - t));
@@ -175,9 +176,24 @@ Cycle AtacModel::inject(Cycle t, const NetPacket& p,
   (void)done;
   ++counters_.unicast_packets;
   counters_.flits_injected += flits;
+  counters_.unicast_flits_offered += flits;
   counters_.recv_unicast_flits += flits;
   counters_.packet_latency.sample(static_cast<double>(tail - t));
   return sender_free;
+}
+
+void AtacModel::append_channel_usage(std::vector<ChannelUsage>& out) const {
+  enet_.append_channel_usage(out);
+  Cycle hub_busy = 0;
+  for (const auto& ch : hub_data_link_) hub_busy += ch.busy_cycles();
+  out.push_back({"onet.hub_data", hub_busy, hub_data_link_.size()});
+  Cycle star_busy = 0;
+  std::size_t star_channels = 0;
+  for (const auto& g : starnets_) {
+    star_busy += g.busy_cycles();
+    star_channels += g.size();
+  }
+  out.push_back({"recvnet.starnets", star_busy, star_channels});
 }
 
 double AtacModel::link_utilization(Cycle total_cycles) const {

@@ -27,6 +27,8 @@ class AtacModel : public NetworkModel {
 
   Cycle inject(Cycle t, const NetPacket& p, const DeliveryFn& deliver) override;
 
+  void append_channel_usage(std::vector<ChannelUsage>& out) const override;
+
   const MeshGeom& geom() const { return geom_; }
   int flits_of(const NetPacket& p) const { return enet_.flits_of(p); }
 

@@ -67,6 +67,7 @@ Cycle EMeshModel::unicast(Cycle t, CoreId src, CoreId dst, int flits,
   if (count_traffic) {
     ++sink().unicast_packets;
     sink().flits_injected += flits;
+    sink().unicast_flits_offered += flits;
     sink().recv_unicast_flits += flits;
     sink().packet_latency.sample(static_cast<double>(tail - t));
   }
@@ -134,6 +135,7 @@ Cycle EMeshModel::bcast_tree(Cycle t, CoreId src, int flits,
 
   ++sink().bcast_packets;
   sink().flits_injected += flits;
+  sink().bcast_flits_offered += flits;
   sink().recv_bcast_flits +=
       static_cast<std::uint64_t>(flits) * (geom_.num_cores() - 1);
   sink().packet_latency.sample(static_cast<double>(latest - t));
@@ -164,10 +166,15 @@ Cycle EMeshModel::inject(Cycle t, const NetPacket& p,
   ++sink().bcast_packets;
   sink().flits_injected +=
       static_cast<std::uint64_t>(flits) * (geom_.num_cores() - 1);
+  sink().bcast_flits_offered += flits;
   sink().recv_bcast_flits +=
       static_cast<std::uint64_t>(flits) * (geom_.num_cores() - 1);
   sink().packet_latency.sample(static_cast<double>(latest - t));
   return sender_free;
+}
+
+void EMeshModel::append_channel_usage(std::vector<ChannelUsage>& out) const {
+  out.push_back({"enet.links", links_.total_busy_cycles(), links_.size()});
 }
 
 }  // namespace atacsim::net

@@ -24,6 +24,8 @@ class EMeshModel : public NetworkModel {
 
   Cycle inject(Cycle t, const NetPacket& p, const DeliveryFn& deliver) override;
 
+  void append_channel_usage(std::vector<ChannelUsage>& out) const override;
+
   const MeshGeom& geom() const { return geom_; }
 
   /// Flits for a packet of `bits` at the configured flit width.

@@ -67,6 +67,7 @@ class ChannelGroup {
     for (const auto& c : ch_) total += c.busy_cycles();
     return total;
   }
+  std::size_t size() const { return ch_.size(); }
 
  private:
   std::vector<Channel> ch_;

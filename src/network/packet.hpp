@@ -1,7 +1,9 @@
 // Network packet description and the network-model interface.
 #pragma once
 
+#include <cstddef>
 #include <functional>
+#include <vector>
 
 #include "common/counters.hpp"
 #include "common/types.hpp"
@@ -27,6 +29,15 @@ struct NetPacket {
 /// is delivered there. For broadcasts it fires for every core except src.
 using DeliveryFn = std::function<void(CoreId receiver, Cycle arrival)>;
 
+/// Aggregate busy time of one named channel group, exported for the
+/// validation layer's ledger probe (src/check): total busy cycles can never
+/// exceed elapsed cycles x channel count once the event queue drains.
+struct ChannelUsage {
+  const char* name;       ///< e.g. "enet.links", "onet.hub_data", "starnets"
+  Cycle busy_cycles = 0;  ///< summed over all channels in the group
+  std::size_t channels = 0;
+};
+
 /// Flow-level network model. Thread-hostile by design: the simulation is a
 /// deterministic single-threaded event program.
 class NetworkModel {
@@ -42,6 +53,10 @@ class NetworkModel {
 
   NetCounters& counters() { return counters_; }
   const NetCounters& counters() const { return counters_; }
+
+  /// Appends one ChannelUsage entry per contention resource the model owns
+  /// (validation-layer introspection; the base model owns none).
+  virtual void append_channel_usage(std::vector<ChannelUsage>&) const {}
 
  protected:
   NetCounters counters_;

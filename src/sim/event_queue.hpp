@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/invariant.hpp"
 #include "common/types.hpp"
 
 namespace atacsim {
@@ -30,32 +31,39 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
 
+  /// When on, every dispatch asserts the clock never moves backwards
+  /// (src/check clock probe). Defaults to the ATACSIM_VALIDATE env flag.
+  void set_validation(bool on) { validate_ = on; }
+  bool validation() const { return validate_; }
+
   /// Runs until the queue drains or `max_cycles` is crossed. Returns true if
-  /// drained; false on the cycle-limit safety stop.
+  /// drained; false on the cycle-limit safety stop — with `now()` advanced
+  /// to `max_cycles`, matching run_until's clock floor, so callers reading
+  /// now() after a safety stop see the full elapsed window rather than the
+  /// last executed event.
   bool run(Cycle max_cycles = kNeverCycle) {
     while (!heap_.empty()) {
       // Copy out before pop so the handler may schedule more events.
       const Item& top = heap_.top();
-      if (top.t > max_cycles) return false;
-      now_ = top.t;
-      Fn fn = std::move(const_cast<Item&>(top).fn);
-      heap_.pop();
-      fn();
+      if (top.t > max_cycles) {
+        now_ = max_cycles;
+        return false;
+      }
+      dispatch(top);
     }
     return true;
   }
 
   /// Executes events up to and including cycle `t`.
   void run_until(Cycle t) {
-    while (!heap_.empty() && heap_.top().t <= t) {
-      const Item& top = heap_.top();
-      now_ = top.t;
-      Fn fn = std::move(const_cast<Item&>(top).fn);
-      heap_.pop();
-      fn();
-    }
+    while (!heap_.empty() && heap_.top().t <= t) dispatch(heap_.top());
     if (now_ < t) now_ = t;
   }
+
+  /// Fault injection for the checker's mutation tests: rewinds (or advances)
+  /// the clock without draining events, so the next dispatch trips the
+  /// monotonicity probe. Never called outside tests.
+  void debug_set_now(Cycle t) { now_ = t; }
 
  private:
   struct Item {
@@ -66,9 +74,22 @@ class EventQueue {
       return t != o.t ? t > o.t : seq > o.seq;
     }
   };
+
+  void dispatch(const Item& top) {
+    if (validate_ && top.t < now_)
+      check::raise(check::Probe::kClock, "event_queue", now_, kInvalidCore,
+                   "dispatch timestamp " + std::to_string(top.t) +
+                       " behind clock " + std::to_string(now_));
+    now_ = top.t;
+    Fn fn = std::move(const_cast<Item&>(top).fn);
+    heap_.pop();
+    fn();
+  }
+
   std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
   Cycle now_ = 0;
   std::uint64_t seq_ = 0;
+  bool validate_ = check::env_validation_enabled();
 };
 
 }  // namespace atacsim

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "check/probes.hpp"
+
 namespace {
 atacsim::Addr trace_line() {
   static const atacsim::Addr v = [] {
@@ -41,6 +43,11 @@ mem::MemEnv Machine::make_env() {
   };
   env.send = [this](Cycle t, const mem::CohMsg& m) { return send_msg(t, m); };
   env.now_fn = [this] { return events_.now(); };
+  // Envs are copied into caches/directories at construction, so the hook
+  // checks the live flag through `this` rather than baking it in.
+  env.post_txn = [this](Addr line, HubId slice) {
+    if (validate_) validate_coherence(line, slice);
+  };
   return env;
 }
 
@@ -68,6 +75,7 @@ void Machine::deliver(CoreId receiver, const mem::CohMsg& m, Cycle at) {
                  (unsigned long long)at, mem::to_string(m.type),
                  (unsigned long long)m.line, receiver, m.src, m.seq);
   }
+  ++observed_deliveries_;
   events_.schedule(at, [this, receiver, m] {
     switch (m.type) {
       case mem::CohType::kShReq:
@@ -96,6 +104,8 @@ Cycle Machine::send_msg(Cycle t, const mem::CohMsg& m) {
                  (unsigned long long)m.line, m.src, m.dst, m.requester, m.seq,
                  (int)m.carries_data);
   }
+  expected_deliveries_ +=
+      m.is_broadcast() ? static_cast<std::uint64_t>(mp_.num_cores) : 1;
   net::NetPacket p;
   p.src = m.src;
   p.dst = m.dst;
@@ -108,6 +118,26 @@ Cycle Machine::send_msg(Cycle t, const mem::CohMsg& m) {
     deliver(m.src, m, t + 2);
   }
   return sender_free;
+}
+
+void Machine::validate_coherence(Addr line, HubId slice) {
+  const auto dir = dirs_[static_cast<std::size_t>(slice)]->probe_line(line);
+  std::vector<std::pair<CoreId, mem::LineState>> cached;
+  for (const auto& c : caches_) {
+    const mem::LineState s = c->l2().peek(line);
+    if (s != mem::LineState::kInvalid) cached.emplace_back(c->self(), s);
+  }
+  check::check_coherence(line, dir, cached, mp_.num_hw_sharers, mp_.num_cores,
+                         now());
+}
+
+void Machine::validate_run() {
+  check::check_flow_conservation(net_->counters(), mp_.num_cores, now());
+  std::vector<net::ChannelUsage> usage;
+  net_->append_channel_usage(usage);
+  check::check_channel_usage(usage, now());
+  check::check_delivery(expected_deliveries_, observed_deliveries_,
+                        "coherence deliveries", now());
 }
 
 bool Machine::quiescent() const {

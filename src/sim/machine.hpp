@@ -45,8 +45,23 @@ class Machine {
   MemCounters& mem_counters() { return mem_counters_; }
 
   /// Drains the event queue; returns false if the safety cycle limit hit.
-  bool run(Cycle max_cycles = kNeverCycle) { return events_.run(max_cycles); }
+  /// Once drained with validation on, runs the end-of-run probes (flow
+  /// conservation, channel ledger bounds, message delivery accounting).
+  bool run(Cycle max_cycles = kNeverCycle) {
+    const bool drained = events_.run(max_cycles);
+    if (drained && validate_) validate_run();
+    return drained;
+  }
   Cycle now() const { return events_.now(); }
+
+  /// Opt-in cross-layer validation (src/check): per-transaction coherence
+  /// probes, end-of-run flow/ledger/delivery probes, and the event queue's
+  /// clock-monotonicity probe. Defaults to the ATACSIM_VALIDATE env flag.
+  void set_validation(bool on) {
+    validate_ = on;
+    events_.set_validation(on);
+  }
+  bool validation() const { return validate_; }
 
   /// True if no coherence transaction or miss is outstanding anywhere —
   /// the quiescence invariant the integration tests assert.
@@ -81,6 +96,11 @@ class Machine {
   mem::MemEnv make_env();
   static std::vector<CoreId> slice_cores(const MachineParams& mp);
 
+  /// Coherence probe after a directory transaction on `line` at `slice`.
+  void validate_coherence(Addr line, HubId slice);
+  /// End-of-run probes, fired when run() drains with validation on.
+  void validate_run();
+
   MachineParams mp_;
   net::MeshGeom geom_;
   EventQueue events_;
@@ -93,6 +113,12 @@ class Machine {
   // Frame numbers start away from 0 so no translated line lands on the
   // (often special-cased) zero address.
   Addr next_frame_ = 16;
+
+  bool validate_ = check::env_validation_enabled();
+  // Delivery accounting (always counted — two increments per message — so
+  // toggling set_validation mid-run cannot skew the ledger).
+  std::uint64_t expected_deliveries_ = 0;
+  std::uint64_t observed_deliveries_ = 0;
 };
 
 }  // namespace atacsim::sim

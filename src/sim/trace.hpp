@@ -44,7 +44,12 @@ struct Trace {
 /// via Program::set_tracer (one recorder per run).
 class TraceRecorder {
  public:
-  explicit TraceRecorder(int num_cores) : trace_() {
+  explicit TraceRecorder(int num_cores)
+      : trace_(), last_issue_(static_cast<std::size_t>(num_cores), 0) {
+    // Both per-core arrays are sized here: record() indexes last_issue_
+    // unconditionally, so a recorder must be fully usable as constructed
+    // (it used to rely on Program::set_tracer resizing last_issue_, leaving
+    // a directly-wired recorder reading out of bounds).
     trace_.per_core.resize(static_cast<std::size_t>(num_cores));
   }
   void record(CoreId core, Addr addr, bool write, Cycle local_now) {
@@ -55,9 +60,6 @@ class TraceRecorder {
                            gap, 0xFFFFFFFFull)),
                  write});
     last = local_now;
-  }
-  void resize_last_issue(int num_cores) {
-    last_issue_.assign(static_cast<std::size_t>(num_cores), 0);
   }
   Trace take() { return std::move(trace_); }
 

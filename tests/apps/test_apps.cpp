@@ -3,11 +3,21 @@
 // network/coherence configurations.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "apps/app.hpp"
 #include "core/program.hpp"
 
 namespace atacsim::apps {
 namespace {
+
+// Run every machine in this binary with the cross-layer invariant probes
+// armed (src/check); set before main() so env_validation_enabled's cached
+// read sees it.
+const bool kValidateInit = [] {
+  ::setenv("ATACSIM_VALIDATE", "1", 1);
+  return true;
+}();
 
 struct Case {
   const char* app;

@@ -1,0 +1,286 @@
+// Validation-layer tests: the clean paths (every app on every network runs
+// under ATACSIM_VALIDATE with no probe firing) and the mutation paths (a
+// deliberately seeded fault in each layer must trip exactly its probe
+// family — a checker that cannot catch a planted bug checks nothing).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "check/invariant.hpp"
+#include "check/probes.hpp"
+#include "core/program.hpp"
+#include "sim/machine.hpp"
+
+namespace atacsim::check {
+namespace {
+
+// Before main(): every Machine/EventQueue in this binary defaults to
+// validation on (env_validation_enabled caches its first read).
+const bool kEnvInit = [] {
+  ::setenv("ATACSIM_VALIDATE", "1", 1);
+  return true;
+}();
+
+using sim::Machine;
+
+MachineParams tiny(NetworkKind net = NetworkKind::kAtacPlus,
+                   CoherenceKind coh = CoherenceKind::kAckwise) {
+  auto p = MachineParams::small(4, 2);
+  p.network = net;
+  p.coherence = coh;
+  return p;
+}
+
+void access_and_drain(Machine& m, CoreId c, Addr a, bool write) {
+  Cycle done = kNeverCycle;
+  m.cache(c).access(a, write, [&](Cycle t) { done = t; });
+  ASSERT_TRUE(m.run(10'000'000));
+  ASSERT_NE(done, kNeverCycle);
+}
+
+// ---------------------------------------------------------------- clean runs
+
+struct CleanCase {
+  std::string app;
+  NetworkKind net;
+};
+
+class ValidatedApps : public ::testing::TestWithParam<CleanCase> {};
+
+// Acceptance gate: every paper app on every network model runs execution-
+// driven on a small mesh with all probes armed and none firing.
+TEST_P(ValidatedApps, RunsCleanUnderValidation) {
+  const auto& tc = GetParam();
+  auto mp = tiny(tc.net);
+  apps::AppConfig cfg;
+  cfg.num_cores = mp.num_cores;
+  cfg.scale = 0.05;
+  auto app = apps::make_app(tc.app, cfg);
+
+  core::Program prog(mp);
+  ASSERT_TRUE(prog.machine().validation());  // env default took effect
+  prog.spawn_all(app->body());
+  core::RunResult r;
+  ASSERT_NO_THROW(r = prog.run(2'000'000'000)) << tc.app;
+  EXPECT_TRUE(r.finished);
+  EXPECT_EQ(app->verify(), "");
+  // The run drained, so the end-of-run probes (flow conservation, channel
+  // ledgers, delivery accounting) all passed inside Machine::run.
+}
+
+std::vector<CleanCase> clean_cases() {
+  std::vector<CleanCase> cases;
+  for (const auto& name : apps::app_names())
+    for (NetworkKind net : {NetworkKind::kAtacPlus, NetworkKind::kEMeshBCast,
+                            NetworkKind::kEMeshPure})
+      cases.push_back({name, net});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAppsAllNets, ValidatedApps,
+                         ::testing::ValuesIn(clean_cases()),
+                         [](const auto& info) {
+                           std::string n = info.param.app;
+                           n += info.param.net == NetworkKind::kAtacPlus
+                                    ? "_atac"
+                                    : (info.param.net ==
+                                               NetworkKind::kEMeshBCast
+                                           ? "_bcast"
+                                           : "_pure");
+                           return n;
+                         });
+
+// ---------------------------------------------------- coherence probe fires
+
+TEST(MutationCoherence, ForgottenSharersAreCaught) {
+  // Share a line across three cores, then corrupt the home slice so it
+  // forgets every tracked copy. The next transaction on the line completes
+  // against the (now empty) directory state while the stale Shared copies
+  // are still cached — exactly the lost-invalidation bug ACKwise must never
+  // have, and the post-transaction probe must flag it.
+  Machine m(tiny());
+  const Addr a = 0x40000;
+  access_and_drain(m, 1, a, false);
+  access_and_drain(m, 2, a, false);
+  access_and_drain(m, 3, a, false);
+
+  const Addr line = m.cache(1).l2().line_of(a);
+  m.directory(m.homes().slice_of(line)).debug_corrupt_forget_line(line);
+
+  try {
+    access_and_drain(m, 0, a, true);
+    FAIL() << "coherence probe did not fire";
+  } catch (const InvariantViolation& v) {
+    EXPECT_EQ(v.probe, Probe::kCoherence);
+    EXPECT_EQ(v.subsystem, "directory");
+    EXPECT_NE(v.detail.find("untracked"), std::string::npos) << v.what();
+  }
+}
+
+TEST(MutationCoherence, PointerOverflowAndForeignModifiedAreCaught) {
+  mem::DirectorySlice::LineProbe dir;
+  dir.state = mem::LineState::kShared;
+  dir.ptrs = {1, 2, 3, 4, 5};  // five pointers against k = 4, global unset
+  try {
+    check_coherence(0x80, dir, {}, /*k=*/4, /*num_cores=*/16, 7);
+    FAIL() << "pointer-bound probe did not fire";
+  } catch (const InvariantViolation& v) {
+    EXPECT_EQ(v.probe, Probe::kCoherence);
+  }
+
+  // Modified copy at a core the directory thinks is a plain sharer.
+  dir.ptrs = {1, 2};
+  dir.owner = kInvalidCore;
+  try {
+    check_coherence(0x80, dir, {{2, mem::LineState::kModified}}, 4, 16, 7);
+    FAIL() << "foreign-Modified probe did not fire";
+  } catch (const InvariantViolation& v) {
+    EXPECT_EQ(v.probe, Probe::kCoherence);
+    EXPECT_NE(v.detail.find("non-owner"), std::string::npos) << v.what();
+  }
+}
+
+// --------------------------------------------------------- flow probe fires
+
+TEST(MutationFlow, LostFlitsAreCaught) {
+  NetCounters n;
+  n.unicast_flits_offered = 10;
+  n.recv_unicast_flits = 9;  // one payload flit vanished in the network
+  try {
+    check_flow_conservation(n, /*num_cores=*/16, 123);
+    FAIL() << "unicast conservation probe did not fire";
+  } catch (const InvariantViolation& v) {
+    EXPECT_EQ(v.probe, Probe::kFlow);
+    EXPECT_EQ(v.cycle, 123u);
+  }
+
+  NetCounters b;
+  b.bcast_flits_offered = 2;
+  b.recv_bcast_flits = 2 * 14;  // one receiver short of 2 x (16 - 1)
+  EXPECT_THROW(check_flow_conservation(b, 16, 0), InvariantViolation);
+}
+
+TEST(MutationFlow, OverfullChannelLedgerIsCaught) {
+  // 3 channels over 100 elapsed cycles can serve at most 300 busy cycles.
+  const std::vector<net::ChannelUsage> usage = {{"enet.links", 301, 3}};
+  try {
+    check_channel_usage(usage, 100);
+    FAIL() << "ledger probe did not fire";
+  } catch (const InvariantViolation& v) {
+    EXPECT_EQ(v.probe, Probe::kFlow);
+    EXPECT_NE(v.detail.find("enet.links"), std::string::npos);
+  }
+  // Exactly at capacity is legal.
+  EXPECT_NO_THROW(check_channel_usage({{"enet.links", 300, 3}}, 100));
+}
+
+TEST(MutationFlow, DroppedDeliveryIsCaught) {
+  EXPECT_NO_THROW(check_delivery(42, 42, "coherence deliveries", 9));
+  try {
+    check_delivery(42, 41, "coherence deliveries", 9);
+    FAIL() << "delivery probe did not fire";
+  } catch (const InvariantViolation& v) {
+    EXPECT_EQ(v.probe, Probe::kFlow);
+    EXPECT_EQ(v.subsystem, "machine");
+  }
+}
+
+// ------------------------------------------------------- energy probe fires
+
+TEST(MutationEnergy, NonFiniteAndNegativeComponentsAreCaught) {
+  power::EnergyBreakdown e;
+  e.laser = 1.0;
+  EXPECT_NO_THROW(check_energy(e, "clean"));
+
+  e.l2 = -1e-9;
+  EXPECT_THROW(check_energy(e, "negative"), InvariantViolation);
+
+  e.l2 = 0.0;
+  e.enet_dynamic = std::numeric_limits<double>::quiet_NaN();
+  try {
+    check_energy(e, "nan");
+    FAIL() << "energy probe did not fire";
+  } catch (const InvariantViolation& v) {
+    EXPECT_EQ(v.probe, Probe::kEnergy);
+    EXPECT_NE(v.detail.find("enet_dynamic"), std::string::npos);
+  }
+}
+
+TEST(MutationEnergy, TotalsMustSumFromComponents) {
+  // A consistent breakdown exported through the reporting path passes.
+  auto consistent = [] {
+    StatList st;
+    st.add("energy_laser", 1.0);
+    st.add("energy_ring_tuning", 0.5);
+    st.add("energy_optical_other", 0.25);
+    st.add("energy_enet_dynamic", 2.0);
+    st.add("energy_enet_static", 1.0);
+    st.add("energy_recvnet", 0.5);
+    st.add("energy_hub", 0.75);
+    st.add("energy_l1i", 0.1);
+    st.add("energy_l1d", 0.2);
+    st.add("energy_l2", 0.3);
+    st.add("energy_directory", 0.4);
+    st.add("energy_core_dd", 3.0);
+    st.add("energy_core_ndd", 1.5);
+    st.add("energy_network", 6.0);
+    st.add("energy_caches", 1.0);
+    st.add("energy_chip_no_core", 7.0);
+    st.add("energy_chip", 11.5);
+    return st;
+  };
+  EXPECT_NO_THROW(check_energy_stats(consistent(), "clean"));
+
+  // Tamper with the exported total: it no longer matches its components.
+  StatList wrong;
+  for (const auto& [k, v] : consistent().items())
+    wrong.add(k, k == "energy_network" ? v + 1e-3 : v);
+  try {
+    check_energy_stats(wrong, "tampered");
+    FAIL() << "energy-sum probe did not fire";
+  } catch (const InvariantViolation& v) {
+    EXPECT_EQ(v.probe, Probe::kEnergy);
+    EXPECT_NE(v.detail.find("energy_network"), std::string::npos);
+  }
+
+  StatList nonfinite = consistent();
+  nonfinite.add("edp", std::numeric_limits<double>::infinity());
+  EXPECT_THROW(check_energy_stats(nonfinite, "inf"), InvariantViolation);
+}
+
+// -------------------------------------------------------- clock probe fires
+
+TEST(MutationClock, BackwardsDispatchIsCaught) {
+  EventQueue q;
+  ASSERT_TRUE(q.validation());  // env default took effect
+  q.schedule(5, [] {});
+  q.debug_set_now(10);  // seeded fault: clock ahead of the pending event
+  try {
+    q.run();
+    FAIL() << "clock probe did not fire";
+  } catch (const InvariantViolation& v) {
+    EXPECT_EQ(v.probe, Probe::kClock);
+    EXPECT_EQ(v.subsystem, "event_queue");
+    EXPECT_EQ(v.cycle, 10u);
+  }
+}
+
+TEST(Invariant, MessageCarriesStructuredFields) {
+  const InvariantViolation v(Probe::kFlow, "network", 42, 7, "boom");
+  EXPECT_EQ(v.probe, Probe::kFlow);
+  EXPECT_EQ(v.cycle, 42u);
+  EXPECT_EQ(v.core, 7);
+  const std::string msg = v.what();
+  EXPECT_NE(msg.find("[flow]"), std::string::npos);
+  EXPECT_NE(msg.find("cycle 42"), std::string::npos);
+  EXPECT_NE(msg.find("core 7"), std::string::npos);
+  EXPECT_NE(msg.find("boom"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace atacsim::check

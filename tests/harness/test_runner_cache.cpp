@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <string>
+#include <vector>
 
 #include "harness/cache.hpp"
 #include "harness/runner.hpp"
@@ -59,6 +61,134 @@ TEST(ScenarioKey, DistinguishesSimulationRelevantFields) {
   b = a;
   b.mp.photonics = PhotonicFlavor::kCons;
   EXPECT_EQ(scenario_key(a), scenario_key(b));
+}
+
+TEST(ScenarioKey, SanitizationIsInjective) {
+  // The v2 sanitizer mapped ' ', '/' (and '+', to 'P') onto overlapping
+  // outputs, so distinct scenarios could share one cache entry. The
+  // percent-encoding scheme must keep every pair distinct.
+  auto key_for_app = [](const std::string& app) {
+    auto s = small_scenario();
+    s.app = app;
+    return scenario_key(s);
+  };
+  const std::vector<std::string> tricky = {"a b",  "a/b", "a-b", "a+b",
+                                           "aPb",  "a%b", "a%20b"};
+  for (std::size_t i = 0; i < tricky.size(); ++i)
+    for (std::size_t j = i + 1; j < tricky.size(); ++j)
+      EXPECT_NE(key_for_app(tricky[i]), key_for_app(tricky[j]))
+          << '"' << tricky[i] << "\" vs \"" << tricky[j] << '"';
+  // Keys stay filesystem-safe: no separators or spaces survive encoding.
+  for (const auto& app : tricky) {
+    const auto k = key_for_app(app);
+    EXPECT_EQ(k.find('/'), std::string::npos) << k;
+    EXPECT_EQ(k.find(' '), std::string::npos) << k;
+  }
+}
+
+TEST(Cache, StoreLoadRoundTripFieldForField) {
+  const auto dir = std::filesystem::temp_directory_path() / "atacsim_cache_rt";
+  std::filesystem::remove_all(dir);
+  setenv("ATACSIM_CACHE", dir.c_str(), 1);
+
+  // A synthetic outcome with a distinct value in every persisted field, so
+  // any swapped or dropped key in the store/load maps fails the comparison.
+  Outcome o;
+  o.finished = true;
+  o.verify_msg = "";
+  o.wall_seconds = 1.5;
+  o.swmr_utilization = 0.25;
+  o.onet_unicasts = 101;
+  o.onet_bcasts = 102;
+  o.run.finished = true;
+  o.run.completion_cycles = 1001;
+  o.run.total_instructions = 1002;
+  o.run.avg_ipc = 0.75;
+  o.run.core.instructions = 1002;
+  o.run.core.busy_cycles = 1003;
+  auto& n = o.run.net;
+  n.enet_router_flits = 1;
+  n.enet_link_flits = 2;
+  n.recvnet_link_flits = 3;
+  n.hub_flits = 4;
+  n.onet_flits_sent = 5;
+  n.onet_flit_receptions = 6;
+  n.onet_selects = 7;
+  n.laser_unicast_cycles = 8;
+  n.laser_bcast_cycles = 9;
+  n.unicast_packets = 10;
+  n.bcast_packets = 11;
+  n.flits_injected = 12;
+  n.recv_unicast_flits = 13;
+  n.recv_bcast_flits = 14;
+  n.unicast_flits_offered = 15;
+  n.bcast_flits_offered = 16;
+  auto& m = o.run.mem;
+  m.l1i_accesses = 21;
+  m.l1d_reads = 22;
+  m.l1d_writes = 23;
+  m.l2_reads = 24;
+  m.l2_writes = 25;
+  m.dir_reads = 26;
+  m.dir_writes = 27;
+  m.dram_reads = 28;
+  m.dram_writes = 29;
+  m.l1d_misses = 30;
+  m.l2_misses = 31;
+  m.invalidations_sent = 32;
+  m.bcast_invalidations = 33;
+
+  const auto s = small_scenario();
+  store_cached(s, o);
+  Outcome l;
+  ASSERT_TRUE(try_load_cached(s, l));
+  unsetenv("ATACSIM_CACHE");
+
+  EXPECT_EQ(l.app, s.app);
+  EXPECT_EQ(l.finished, o.finished);
+  EXPECT_EQ(l.verify_msg, o.verify_msg);
+  EXPECT_DOUBLE_EQ(l.wall_seconds, o.wall_seconds);
+  EXPECT_DOUBLE_EQ(l.swmr_utilization, o.swmr_utilization);
+  EXPECT_EQ(l.onet_unicasts, o.onet_unicasts);
+  EXPECT_EQ(l.onet_bcasts, o.onet_bcasts);
+  EXPECT_EQ(l.run.finished, o.run.finished);
+  EXPECT_EQ(l.run.completion_cycles, o.run.completion_cycles);
+  EXPECT_EQ(l.run.total_instructions, o.run.total_instructions);
+  EXPECT_DOUBLE_EQ(l.run.avg_ipc, o.run.avg_ipc);
+  EXPECT_EQ(l.run.core.instructions, o.run.core.instructions);
+  EXPECT_EQ(l.run.core.busy_cycles, o.run.core.busy_cycles);
+  const auto& ln = l.run.net;
+  EXPECT_EQ(ln.enet_router_flits, n.enet_router_flits);
+  EXPECT_EQ(ln.enet_link_flits, n.enet_link_flits);
+  EXPECT_EQ(ln.recvnet_link_flits, n.recvnet_link_flits);
+  EXPECT_EQ(ln.hub_flits, n.hub_flits);
+  EXPECT_EQ(ln.onet_flits_sent, n.onet_flits_sent);
+  EXPECT_EQ(ln.onet_flit_receptions, n.onet_flit_receptions);
+  EXPECT_EQ(ln.onet_selects, n.onet_selects);
+  EXPECT_EQ(ln.laser_unicast_cycles, n.laser_unicast_cycles);
+  EXPECT_EQ(ln.laser_bcast_cycles, n.laser_bcast_cycles);
+  EXPECT_EQ(ln.unicast_packets, n.unicast_packets);
+  EXPECT_EQ(ln.bcast_packets, n.bcast_packets);
+  EXPECT_EQ(ln.flits_injected, n.flits_injected);
+  EXPECT_EQ(ln.recv_unicast_flits, n.recv_unicast_flits);
+  EXPECT_EQ(ln.recv_bcast_flits, n.recv_bcast_flits);
+  EXPECT_EQ(ln.unicast_flits_offered, n.unicast_flits_offered);
+  EXPECT_EQ(ln.bcast_flits_offered, n.bcast_flits_offered);
+  const auto& lm = l.run.mem;
+  EXPECT_EQ(lm.l1i_accesses, m.l1i_accesses);
+  EXPECT_EQ(lm.l1d_reads, m.l1d_reads);
+  EXPECT_EQ(lm.l1d_writes, m.l1d_writes);
+  EXPECT_EQ(lm.l2_reads, m.l2_reads);
+  EXPECT_EQ(lm.l2_writes, m.l2_writes);
+  EXPECT_EQ(lm.dir_reads, m.dir_reads);
+  EXPECT_EQ(lm.dir_writes, m.dir_writes);
+  EXPECT_EQ(lm.dram_reads, m.dram_reads);
+  EXPECT_EQ(lm.dram_writes, m.dram_writes);
+  EXPECT_EQ(lm.l1d_misses, m.l1d_misses);
+  EXPECT_EQ(lm.l2_misses, m.l2_misses);
+  EXPECT_EQ(lm.invalidations_sent, m.invalidations_sent);
+  EXPECT_EQ(lm.bcast_invalidations, m.bcast_invalidations);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Cache, RoundTripsCountersExactly) {

@@ -55,6 +55,18 @@ TEST(EventQueue, MaxCycleSafetyStop) {
   EXPECT_FALSE(q.run(1000));
 }
 
+TEST(EventQueue, SafetyStopAdvancesClockToLimit) {
+  // Regression: run() used to leave now() at the last *executed* event on a
+  // safety stop, so callers computing elapsed time from now() under-counted
+  // whenever event spacing didn't divide the limit. run_until() has always
+  // floored the clock; run() must match.
+  EventQueue q;
+  std::function<void()> forever = [&] { q.schedule_in(7, forever); };
+  q.schedule(0, forever);
+  EXPECT_FALSE(q.run(1000));  // last executed event lands at 994
+  EXPECT_EQ(q.now(), 1000u);
+}
+
 TEST(EventQueue, RunUntilAdvancesClock) {
   EventQueue q;
   int hits = 0;

@@ -2,6 +2,7 @@
 // and assert the MSI + ACKwise/Dir_kB behaviour the paper describes.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -9,6 +10,13 @@
 
 namespace atacsim::sim {
 namespace {
+
+// Arm the cross-layer invariant probes (src/check) for every machine and
+// event queue in this binary.
+const bool kValidateInit = [] {
+  ::setenv("ATACSIM_VALIDATE", "1", 1);
+  return true;
+}();
 
 using mem::LineState;
 
