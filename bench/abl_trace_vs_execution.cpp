@@ -8,6 +8,8 @@
 // EMesh-Pure. A trace-driven methodology would use the replay runtimes to
 // compare the networks; the execution-driven rows show what the comparison
 // should have been.
+#include <algorithm>
+
 #include "bench_common.hpp"
 #include "apps/app.hpp"
 #include "core/program.hpp"
@@ -37,44 +39,76 @@ AppRun capture(const std::string& app_name, const MachineParams& mp,
   return {r.completion_cycles, rec.take()};
 }
 
-Cycle exec_on(const std::string& app_name, const MachineParams& mp,
-              double scale) {
-  return run(app_name, mp, scale).run.completion_cycles;
-}
-
 Cycle replay_on(const sim::Trace& trace, const MachineParams& mp) {
   sim::Machine m(mp);
   return sim::replay_trace(m, trace).completion_cycles;
 }
 
-}  // namespace
-
-int main() {
+int run_abl_trace_vs_execution(const Context& ctx) {
   print_header("Ablation",
                "execution-driven vs trace-driven network comparison");
 
   // Small scale keeps the open-loop replays (which flood MSHRs) tractable.
   const double scale = std::min(bench_scale(), 0.25);
-  const std::vector<std::string> apps = {"radix", "ocean_contig", "barnes"};
+  const std::vector<std::string> app_names = {"radix", "ocean_contig",
+                                              "barnes"};
+
+  // The execution-driven cells run on the exp worker pool; the trace
+  // captures/replays stay serial (they drive sim::Machine directly).
+  exp::sweep::CellConfig base;
+  base.scenario.scale = scale;
+  exp::sweep::SweepSpec spec(base);
+  spec.axis(exp::sweep::apps_axis(app_names))
+      .axis(exp::sweep::machine_axis({{"ATAC+", atac_plus()},
+                                      {"EMesh-BCast", emesh_bcast()},
+                                      {"EMesh-Pure", emesh_pure()}}));
+  const auto res = run_sweep(spec, ctx);
+
+  exp::report::Report rep;
+  rep.name = "abl_trace_vs_execution";
+  rep.cells = spec.num_cells();
+  rep.cache_hits = res.plan_result().cache_hits;
+  rep.simulations = res.plan_result().simulations;
 
   Table t({"benchmark", "method", "ATAC+", "EMesh-BCast", "EMesh-Pure",
            "BCast/ATAC+", "Pure/ATAC+"});
-  for (const auto& app : apps) {
-    const auto cap = capture(app, harness::atac_plus(), scale);
+  auto report_row = [&rep](const std::string& app, const char* method,
+                           double atac, double bc, double pu) {
+    exp::report::Row rr;
+    rr.app = app;
+    rr.config = method;
+    rr.stats.add("atac_plus_cycles", atac);
+    rr.stats.add("emesh_bcast_cycles", bc);
+    rr.stats.add("emesh_pure_cycles", pu);
+    rr.stats.add("bcast_over_atac", bc / atac);
+    rr.stats.add("pure_over_atac", pu / atac);
+    rep.rows.push_back(std::move(rr));
+  };
+  for (std::size_t ai = 0; ai < app_names.size(); ++ai) {
+    const auto& app = app_names[ai];
+    const auto cap = capture(app, atac_plus(), scale);
 
-    const double e_atac = static_cast<double>(exec_on(app, harness::atac_plus(), scale));
-    const double e_bc = static_cast<double>(exec_on(app, harness::emesh_bcast(), scale));
-    const double e_pu = static_cast<double>(exec_on(app, harness::emesh_pure(), scale));
+    const double e_atac =
+        static_cast<double>(res.at({ai, 0}).run.completion_cycles);
+    const double e_bc =
+        static_cast<double>(res.at({ai, 1}).run.completion_cycles);
+    const double e_pu =
+        static_cast<double>(res.at({ai, 2}).run.completion_cycles);
     t.add_row({app, "execution", Table::num(e_atac, 0), Table::num(e_bc, 0),
                Table::num(e_pu, 0), Table::num(e_bc / e_atac, 2),
                Table::num(e_pu / e_atac, 2)});
+    report_row(app, "execution", e_atac, e_bc, e_pu);
 
-    const double r_atac = static_cast<double>(replay_on(cap.trace, harness::atac_plus()));
-    const double r_bc = static_cast<double>(replay_on(cap.trace, harness::emesh_bcast()));
-    const double r_pu = static_cast<double>(replay_on(cap.trace, harness::emesh_pure()));
+    const double r_atac =
+        static_cast<double>(replay_on(cap.trace, atac_plus()));
+    const double r_bc =
+        static_cast<double>(replay_on(cap.trace, emesh_bcast()));
+    const double r_pu =
+        static_cast<double>(replay_on(cap.trace, emesh_pure()));
     t.add_row({app, "trace-replay", Table::num(r_atac, 0),
                Table::num(r_bc, 0), Table::num(r_pu, 0),
                Table::num(r_bc / r_atac, 2), Table::num(r_pu / r_atac, 2)});
+    report_row(app, "trace-replay", r_atac, r_bc, r_pu);
   }
   t.print(std::cout);
   std::printf(
@@ -83,5 +117,12 @@ int main() {
       "\nunder-reports the EMesh penalty (smaller BCast/ATAC+ and Pure/ATAC+"
       "\nratios than the execution-driven truth). This is the evaluation"
       "\nerror the paper's methodology exists to avoid (Sec. I).\n\n");
+  emit_report(rep);
   return 0;
 }
+
+}  // namespace
+
+ATACSIM_BENCH("abl_trace_vs_execution",
+              "Ablation: execution-driven vs open-loop trace replay",
+              run_abl_trace_vs_execution);

@@ -1,0 +1,99 @@
+// Unified bench driver: every paper figure/table/ablation registers itself
+// (ATACSIM_BENCH in its translation unit) and this binary lists, filters
+// and runs them. Replaces the one-binary-per-figure scheme; each entry
+// prints the same human-readable table its standalone binary did, plus the
+// machine-readable JSON/CSV report under bench_reports/.
+//
+//   atacsim-bench --list
+//   atacsim-bench fig08_edp tab05_swmr_util
+//   atacsim-bench --filter='fig1*' --jobs=8
+//   atacsim-bench --all
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "bench/args.hpp"
+#include "bench/registry.hpp"
+
+namespace {
+
+using atacsim::bench::Args;
+using atacsim::bench::Context;
+using atacsim::bench::Entry;
+using atacsim::bench::Registry;
+
+/// Entries selected by the command line, in registry (name) order, deduped.
+std::vector<const Entry*> select(const Args& args) {
+  const auto& reg = Registry::instance();
+  if (args.all) return reg.all();
+  std::vector<const Entry*> out;
+  for (const Entry* e : reg.all()) {
+    for (const auto& f : args.filters) {
+      if (atacsim::bench::glob_match(f, e->name)) {
+        out.push_back(e);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+int list_entries() {
+  for (const Entry* e : Registry::instance().all())
+    std::printf("%-24s %s\n", e->name.c_str(), e->description.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  try {
+    args = atacsim::bench::parse_args(argc, argv);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "atacsim-bench: %s\n%s", ex.what(),
+                 atacsim::bench::usage());
+    return 2;
+  }
+  if (args.help) {
+    std::printf("%s", atacsim::bench::usage());
+    return 0;
+  }
+  if (args.list) return list_entries();
+  if (!args.all && args.filters.empty()) {
+    std::fprintf(stderr, "atacsim-bench: nothing selected\n%s",
+                 atacsim::bench::usage());
+    return 2;
+  }
+
+  const auto selected = select(args);
+  if (selected.empty()) {
+    std::fprintf(stderr, "atacsim-bench: no entry matches the filter(s)\n");
+    return 2;
+  }
+
+  Context ctx;
+  ctx.jobs = args.jobs;
+  int failures = 0;
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const Entry* e = selected[i];
+    if (selected.size() > 1)
+      std::fprintf(stderr, "[%zu/%zu] %s\n", i + 1, selected.size(),
+                   e->name.c_str());
+    try {
+      const int rc = e->fn(ctx);
+      if (rc != 0) {
+        std::fprintf(stderr, "atacsim-bench: %s exited with %d\n",
+                     e->name.c_str(), rc);
+        ++failures;
+      }
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "atacsim-bench: %s failed: %s\n", e->name.c_str(),
+                   ex.what());
+      ++failures;
+    }
+    if (i + 1 < selected.size()) std::printf("\n");
+  }
+  return failures ? 1 : 0;
+}

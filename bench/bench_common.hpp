@@ -1,19 +1,22 @@
-// Shared scaffolding for the per-figure bench binaries: the benchmark
-// application list, default scales, and run helpers over the scenario cache
-// and the exp experiment planner.
+// Shared scaffolding for the registry-driven figure benches: scenario
+// helpers over the harness cache and the exp sweep engine, plus report
+// emission. Machine builders, scale/mesh env handling and the registry live
+// in src/bench; derived-metric math (normalization, geomeans) lives in
+// exp::sweep.
 #pragma once
 
-#include <cmath>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench/args.hpp"
+#include "bench/common.hpp"
+#include "bench/registry.hpp"
 #include "common/table.hpp"
 #include "exp/plan.hpp"
 #include "exp/report.hpp"
+#include "exp/sweep.hpp"
 #include "harness/cache.hpp"
 #include "harness/runner.hpp"
 
@@ -22,38 +25,25 @@ namespace atacsim::bench {
 using harness::Outcome;
 using harness::Scenario;
 
-/// The paper's eight benchmarks (Fig. 4 order).
-inline const std::vector<std::string>& benchmarks() {
-  return apps::app_names();
-}
+// Geomean semantics are part of the printed figures; the one true
+// implementation lives with the other derived-metric math in exp::sweep.
+using exp::sweep::geomean;
 
-/// Problem-size multiplier for the full-figure runs; override with
-/// ATACSIM_SCALE for quicker smoke runs.
-inline double bench_scale() {
-  if (const char* e = std::getenv("ATACSIM_SCALE")) return std::atof(e);
-  return 1.0;
-}
-
-inline Outcome run(const std::string& app, const MachineParams& mp,
-                   double scale = bench_scale()) {
+/// A scenario cell at the bench scale (the base config most figure sweeps
+/// start from).
+inline Scenario scenario(const std::string& app, const MachineParams& mp,
+                         double scale = bench_scale()) {
   Scenario s;
   s.app = app;
   s.mp = mp;
   s.scale = scale;
-  return harness::run_scenario_cached(s, /*allow_failure=*/true);
+  return s;
 }
 
-/// Worker-pool size from the command line: `--jobs N` or `--jobs=N`.
-/// Returns 0 (= exp::default_jobs(), i.e. ATACSIM_JOBS or all host cores)
-/// when absent.
-inline int parse_jobs(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
-      return std::atoi(argv[i + 1]);
-    if (std::strncmp(argv[i], "--jobs=", 7) == 0)
-      return std::atoi(argv[i] + 7);
-  }
-  return 0;
+inline Outcome run(const std::string& app, const MachineParams& mp,
+                   double scale = bench_scale()) {
+  return harness::run_scenario_cached(scenario(app, mp, scale),
+                                      /*allow_failure=*/true);
 }
 
 /// Registers one (app, machine) cell on a plan at the bench scale.
@@ -61,11 +51,14 @@ inline exp::ExperimentPlan::Handle plan_cell(exp::ExperimentPlan& plan,
                                              const std::string& app,
                                              const MachineParams& mp,
                                              double scale = bench_scale()) {
-  Scenario s;
-  s.app = app;
-  s.mp = mp;
-  s.scale = scale;
-  return plan.add(s, /*allow_failure=*/true);
+  return plan.add(scenario(app, mp, scale), /*allow_failure=*/true);
+}
+
+/// Worker-pool options from the driver context.
+inline exp::ExecOptions exec_options(const Context& ctx) {
+  exp::ExecOptions opt;
+  opt.jobs = ctx.jobs;
+  return opt;
 }
 
 /// Executes a figure's plan on the worker pool.
@@ -75,6 +68,17 @@ inline exp::PlanResult execute(const exp::ExperimentPlan& plan, int jobs) {
   return plan.run(opt);
 }
 
+inline exp::PlanResult execute(const exp::ExperimentPlan& plan,
+                               const Context& ctx) {
+  return plan.run(exec_options(ctx));
+}
+
+/// Runs a scenario sweep on the worker pool.
+inline exp::sweep::SweepResult run_sweep(const exp::sweep::SweepSpec& spec,
+                                         const Context& ctx) {
+  return exp::sweep::run_scenarios(spec, exec_options(ctx));
+}
+
 /// Writes the figure's machine-readable JSON + CSV report and announces the
 /// paths (identical lines regardless of the worker-pool size).
 inline void emit_report(const char* name, const exp::PlanResult& res) {
@@ -82,26 +86,9 @@ inline void emit_report(const char* name, const exp::PlanResult& res) {
     std::printf("report: %s\n", path.c_str());
 }
 
-inline void print_header(const char* fig, const char* what) {
-  std::printf("==============================================================\n");
-  std::printf("%s — %s\n", fig, what);
-  std::printf("machine: 1024 cores, 64 clusters, 11 nm (paper Tables I-III)\n");
-  std::printf("==============================================================\n");
-}
-
-/// Geometric mean helper used for cross-benchmark averages. Non-positive
-/// entries carry no information on a log scale (log(0) = -inf would poison
-/// the whole average), so they are excluded.
-inline double geomean(const std::vector<double>& xs) {
-  double logsum = 0;
-  std::size_t n = 0;
-  for (double x : xs) {
-    if (x > 0.0 && std::isfinite(x)) {
-      logsum += std::log(x);
-      ++n;
-    }
-  }
-  return n ? std::exp(logsum / static_cast<double>(n)) : 0.0;
+inline void emit_report(const exp::report::Report& rep) {
+  for (const auto& path : exp::report::write_report(rep))
+    std::printf("report: %s\n", path.c_str());
 }
 
 }  // namespace atacsim::bench

@@ -11,23 +11,17 @@ using namespace atacsim::bench;
 namespace {
 
 MachineParams atac_classic() {
-  auto mp = harness::atac_plus(PhotonicFlavor::kCons);
+  auto mp = atac_plus(PhotonicFlavor::kCons);
   mp.routing = RoutingPolicy::kCluster;
   mp.receive_net = ReceiveNet::kBNet;
   return mp;
 }
 
-}  // namespace
-
-int main() {
+int run_ext_atac_vs_atacplus(const Context& ctx) {
   print_header("Extension",
                "ATAC (classic) -> ATAC+ step-by-step improvements");
 
-  struct Step {
-    const char* name;
-    MachineParams mp;
-  };
-  std::vector<Step> steps;
+  std::vector<std::pair<std::string, MachineParams>> steps;
   steps.push_back({"ATAC (Cons+BNet+Cluster)", atac_classic()});
   auto s1 = atac_classic();
   s1.photonics = PhotonicFlavor::kDefault;  // adaptive SWMR (gated laser)
@@ -40,23 +34,27 @@ int main() {
   s3.r_thres = 15;
   steps.push_back({"+ Distance-15 (= ATAC+)", s3});
 
-  std::vector<std::string> header = {"benchmark"};
-  for (const auto& s : steps) header.push_back(s.name);
-  Table t(header);
+  exp::sweep::CellConfig base;
+  base.scenario.scale = bench_scale();
+  exp::sweep::SweepSpec spec(base);
+  spec.axis(exp::sweep::apps_axis(benchmarks()))
+      .axis(exp::sweep::machine_axis(steps));
+  const auto res = run_sweep(spec, ctx);
+  const auto norm = res.grid([](const Outcome& o) { return o.edp(); })
+                        .normalized_rows(0);
+  const auto gm = norm.col_geomeans();
 
-  std::vector<std::vector<double>> ratios(steps.size());
-  for (const auto& app : benchmarks()) {
-    std::vector<double> edp;
-    for (const auto& s : steps) edp.push_back(run(app, s.mp).edp());
-    std::vector<std::string> row = {app};
-    for (std::size_t i = 0; i < steps.size(); ++i) {
-      ratios[i].push_back(edp[i] / edp[0]);
-      row.push_back(Table::num(edp[i] / edp[0], 3));
-    }
+  std::vector<std::string> header = {"benchmark"};
+  for (const auto& s : steps) header.push_back(s.first);
+  Table t(header);
+  for (std::size_t a = 0; a < benchmarks().size(); ++a) {
+    std::vector<std::string> row = {benchmarks()[a]};
+    for (std::size_t i = 0; i < steps.size(); ++i)
+      row.push_back(Table::num(norm.at(a, i), 3));
     t.add_row(std::move(row));
   }
   std::vector<std::string> avg = {"geomean"};
-  for (auto& r : ratios) avg.push_back(Table::num(geomean(r), 3));
+  for (const double g : gm) avg.push_back(Table::num(g, 3));
   t.add_row(std::move(avg));
   t.print(std::cout);
   std::printf(
@@ -64,5 +62,12 @@ int main() {
       "\nbulk of the energy-delay win; StarNet and distance-based routing"
       "\neach shave a further slice — the decomposition behind the paper's"
       "\nSec. V-E.\n\n");
+  emit_report("ext_atac_vs_atacplus", res.plan_result());
   return 0;
 }
+
+}  // namespace
+
+ATACSIM_BENCH("ext_atac_vs_atacplus",
+              "Extension: stepwise ATAC-classic to ATAC+ improvements",
+              run_ext_atac_vs_atacplus);

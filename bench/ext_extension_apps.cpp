@@ -2,29 +2,38 @@
 // three networks — coverage of traffic patterns the paper's eight do not
 // exercise (all-to-all transposes; fine-grained per-molecule locking).
 #include "bench_common.hpp"
+#include "apps/app.hpp"
 
 using namespace atacsim;
 using namespace atacsim::bench;
 
-int main() {
+namespace {
+
+int run_ext_extension_apps(const Context& ctx) {
   print_header("Extension", "fft and water_nsq across networks");
+
+  const std::vector<std::pair<std::string, MachineParams>> machines = {
+      {"ATAC+", atac_plus()},
+      {"EMesh-BCast", emesh_bcast()},
+      {"EMesh-Pure", emesh_pure()},
+  };
+  exp::sweep::CellConfig base;
+  base.scenario.scale = bench_scale();
+  exp::sweep::SweepSpec spec(base);
+  spec.axis(exp::sweep::apps_axis(apps::extension_app_names()))
+      .axis(exp::sweep::machine_axis(machines));
+  const auto res = run_sweep(spec, ctx);
 
   Table t({"benchmark", "config", "cycles", "norm to ATAC+", "EDP norm",
            "bcast recv %"});
-  for (const auto& app : apps::extension_app_names()) {
-    double base_cycles = 0, base_edp = 0;
-    for (const auto* cfg : {"atac", "bcast", "pure"}) {
-      MachineParams mp = std::string(cfg) == "atac"
-                             ? harness::atac_plus()
-                             : (std::string(cfg) == "bcast"
-                                    ? harness::emesh_bcast()
-                                    : harness::emesh_pure());
-      const auto o = run(app, mp);
-      if (base_cycles == 0) {
-        base_cycles = static_cast<double>(o.run.completion_cycles);
-        base_edp = o.edp();
-      }
-      t.add_row({app, harness::config_name(mp),
+  for (std::size_t ai = 0; ai < apps::extension_app_names().size(); ++ai) {
+    const auto& app = apps::extension_app_names()[ai];
+    const double base_cycles =
+        static_cast<double>(res.at({ai, 0}).run.completion_cycles);
+    const double base_edp = res.at({ai, 0}).edp();
+    for (std::size_t mi = 0; mi < machines.size(); ++mi) {
+      const auto& o = res.at({ai, mi});
+      t.add_row({app, harness::config_name(machines[mi].second),
                  std::to_string(o.run.completion_cycles),
                  Table::num(o.run.completion_cycles / base_cycles, 2),
                  Table::num(o.edp() / base_edp, 2),
@@ -38,5 +47,12 @@ int main() {
       "\nread-shared, so the next phase's writes become ACKwise broadcast"
       "\ninvalidations — EMesh-Pure collapses. Lock-bound water_nsq is"
       "\nlatency-bound and gains a smaller, ocean-like factor.\n\n");
+  emit_report("ext_extension_apps", res.plan_result());
   return 0;
 }
+
+}  // namespace
+
+ATACSIM_BENCH("ext_extension_apps",
+              "Extension: fft and water_nsq across the three networks",
+              run_ext_extension_apps);

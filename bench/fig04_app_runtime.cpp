@@ -9,45 +9,46 @@
 using namespace atacsim;
 using namespace atacsim::bench;
 
-int main(int argc, char** argv) {
-  const int jobs = parse_jobs(argc, argv);
+namespace {
+
+int run_fig04(const Context& ctx) {
   print_header("Figure 4", "application runtime comparison");
 
-  exp::ExperimentPlan plan;
-  struct Cells {
-    std::size_t atac, bcast, pure;
-  };
-  std::vector<Cells> cells;
-  for (const auto& app : benchmarks())
-    cells.push_back({plan_cell(plan, app, harness::atac_plus()),
-                     plan_cell(plan, app, harness::emesh_bcast()),
-                     plan_cell(plan, app, harness::emesh_pure())});
-  const auto res = execute(plan, jobs);
+  exp::sweep::CellConfig base;
+  base.scenario.scale = bench_scale();
+  exp::sweep::SweepSpec spec(base);
+  spec.axis(exp::sweep::apps_axis(benchmarks()))
+      .axis(exp::sweep::machine_axis({{"ATAC+", atac_plus()},
+                                      {"EMesh-BCast", emesh_bcast()},
+                                      {"EMesh-Pure", emesh_pure()}}));
+  const auto res = run_sweep(spec, ctx);
+  const auto cycles = res.grid([](const Outcome& o) {
+    return static_cast<double>(o.run.completion_cycles);
+  });
+  const auto norm = cycles.normalized_rows(0);
+  const auto gm = norm.col_geomeans();
 
   Table t({"benchmark", "ATAC+ (cycles)", "EMesh-BCast", "EMesh-Pure",
            "BCast/ATAC+", "Pure/ATAC+"});
-  std::vector<double> r_bc, r_pure;
   for (std::size_t i = 0; i < benchmarks().size(); ++i) {
-    const auto& a = res.outcomes[cells[i].atac];
-    const auto& b = res.outcomes[cells[i].bcast];
-    const auto& p = res.outcomes[cells[i].pure];
-    const double nb = static_cast<double>(b.run.completion_cycles) /
-                      a.run.completion_cycles;
-    const double np = static_cast<double>(p.run.completion_cycles) /
-                      a.run.completion_cycles;
-    r_bc.push_back(nb);
-    r_pure.push_back(np);
-    t.add_row({benchmarks()[i], std::to_string(a.run.completion_cycles),
-               std::to_string(b.run.completion_cycles),
-               std::to_string(p.run.completion_cycles), Table::num(nb, 2),
-               Table::num(np, 2)});
+    t.add_row({benchmarks()[i],
+               std::to_string(res.at({i, 0}).run.completion_cycles),
+               std::to_string(res.at({i, 1}).run.completion_cycles),
+               std::to_string(res.at({i, 2}).run.completion_cycles),
+               Table::num(norm.at(i, 1), 2), Table::num(norm.at(i, 2), 2)});
   }
-  t.add_row({"geomean", "-", "-", "-", Table::num(geomean(r_bc), 2),
-             Table::num(geomean(r_pure), 2)});
+  t.add_row({"geomean", "-", "-", "-", Table::num(gm[1], 2),
+             Table::num(gm[2], 2)});
   t.print(std::cout);
   std::printf(
       "\nPaper check: ATAC+ commands a sizable lead over both baselines; the"
       "\ngap vs EMesh-Pure is largest for broadcast-heavy applications.\n\n");
-  emit_report("fig04_app_runtime", res);
+  emit_report("fig04_app_runtime", res.plan_result());
   return 0;
 }
+
+}  // namespace
+
+ATACSIM_BENCH("fig04_app_runtime",
+              "Fig. 4: runtime on ATAC+ vs EMesh-BCast vs EMesh-Pure",
+              run_fig04);

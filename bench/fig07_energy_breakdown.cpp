@@ -17,16 +17,12 @@ using namespace atacsim::bench;
 
 namespace {
 
-struct Config {
-  std::string name;
-  MachineParams mp;
-};
-
-power::EnergyBreakdown average_energy(const exp::PlanResult& res,
-                                      const std::vector<std::size_t>& cells) {
+power::EnergyBreakdown average_energy(const exp::sweep::SweepResult& res,
+                                      std::size_t config,
+                                      std::size_t num_apps) {
   power::EnergyBreakdown sum;
-  for (const std::size_t h : cells) {
-    const auto& e = res.outcomes[h].energy;
+  for (std::size_t a = 0; a < num_apps; ++a) {
+    const auto& e = res.at({config, a}).energy;
     sum.laser += e.laser;
     sum.ring_tuning += e.ring_tuning;
     sum.optical_other += e.optical_other;
@@ -39,7 +35,7 @@ power::EnergyBreakdown average_energy(const exp::PlanResult& res,
     sum.l2 += e.l2;
     sum.directory += e.directory;
   }
-  const double n = static_cast<double>(cells.size());
+  const double n = static_cast<double>(num_apps);
   sum.laser /= n;
   sum.ring_tuning /= n;
   sum.optical_other /= n;
@@ -54,39 +50,37 @@ power::EnergyBreakdown average_energy(const exp::PlanResult& res,
   return sum;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const int jobs = parse_jobs(argc, argv);
+int run_fig07(const Context& ctx) {
   print_header("Figure 7",
                "network+cache energy breakdown, 8-benchmark average "
                "(normalized to ATAC+(Ideal))");
 
-  const std::vector<Config> configs = {
-      {"ATAC+(Ideal)", harness::atac_plus(PhotonicFlavor::kIdeal)},
-      {"ATAC+", harness::atac_plus(PhotonicFlavor::kDefault)},
-      {"ATAC+(RingTuned)", harness::atac_plus(PhotonicFlavor::kRingTuned)},
-      {"ATAC+(Cons)", harness::atac_plus(PhotonicFlavor::kCons)},
-      {"EMesh-BCast", harness::emesh_bcast()},
-      {"EMesh-Pure", harness::emesh_pure()},
+  const std::vector<std::pair<std::string, MachineParams>> configs = {
+      {"ATAC+(Ideal)", atac_plus(PhotonicFlavor::kIdeal)},
+      {"ATAC+", atac_plus(PhotonicFlavor::kDefault)},
+      {"ATAC+(RingTuned)", atac_plus(PhotonicFlavor::kRingTuned)},
+      {"ATAC+(Cons)", atac_plus(PhotonicFlavor::kCons)},
+      {"EMesh-BCast", emesh_bcast()},
+      {"EMesh-Pure", emesh_pure()},
   };
 
-  exp::ExperimentPlan plan;
-  std::vector<std::vector<std::size_t>> cells(configs.size());
-  for (std::size_t i = 0; i < configs.size(); ++i)
-    for (const auto& app : benchmarks())
-      cells[i].push_back(plan_cell(plan, app, configs[i].mp));
-  const auto res = execute(plan, jobs);
+  exp::sweep::CellConfig base;
+  base.scenario.scale = bench_scale();
+  exp::sweep::SweepSpec spec(base);
+  spec.axis(exp::sweep::machine_axis(configs))
+      .axis(exp::sweep::apps_axis(benchmarks()));
+  const auto res = run_sweep(spec, ctx);
 
   std::vector<power::EnergyBreakdown> es;
-  for (const auto& c : cells) es.push_back(average_energy(res, c));
-  const double base = es[0].chip_no_core();
+  for (std::size_t i = 0; i < configs.size(); ++i)
+    es.push_back(average_energy(res, i, benchmarks().size()));
+  const double base_e = es[0].chip_no_core();
 
   Table t({"component", "ATAC+(Ideal)", "ATAC+", "ATAC+(RingTuned)",
            "ATAC+(Cons)", "EMesh-BCast", "EMesh-Pure"});
   auto row = [&](const char* name, auto getter) {
     std::vector<std::string> r = {name};
-    for (const auto& e : es) r.push_back(Table::num(getter(e) / base, 3));
+    for (const auto& e : es) r.push_back(Table::num(getter(e) / base_e, 3));
     t.add_row(std::move(r));
   };
   row("laser", [](const auto& e) { return e.laser; });
@@ -101,13 +95,19 @@ int main(int argc, char** argv) {
   row("L1-D", [](const auto& e) { return e.l1d; });
   row("L2", [](const auto& e) { return e.l2; });
   row("TOTAL", [](const auto& e) { return e.chip_no_core(); });
-  row("caches/total", [base](const auto& e) {
-    return e.chip_no_core() > 0 ? e.caches() / e.chip_no_core() * base : 0.0;
+  row("caches/total", [base_e](const auto& e) {
+    return e.chip_no_core() > 0 ? e.caches() / e.chip_no_core() * base_e : 0.0;
   });
   t.print(std::cout);
   std::printf(
       "\nPaper check: laser huge under Cons; ring tuning huge under"
       "\nRingTuned/Cons; ATAC+ ~= Ideal; caches dominate (>75%%) for ATAC+.\n\n");
-  emit_report("fig07_energy_breakdown", res);
+  emit_report("fig07_energy_breakdown", res.plan_result());
   return 0;
 }
+
+}  // namespace
+
+ATACSIM_BENCH("fig07_energy_breakdown",
+              "Fig. 7: energy breakdown across photonic flavours, normalized",
+              run_fig07);

@@ -9,57 +9,43 @@
 using namespace atacsim;
 using namespace atacsim::bench;
 
-int main(int argc, char** argv) {
-  const int jobs = parse_jobs(argc, argv);
+namespace {
+
+int run_fig08(const Context& ctx) {
   print_header("Figure 8", "normalized energy-delay product (ACKwise4)");
 
-  struct Config {
-    std::string name;
-    MachineParams mp;
-  };
-  const std::vector<Config> configs = {
-      {"ATAC+(Ideal)", harness::atac_plus(PhotonicFlavor::kIdeal)},
-      {"ATAC+", harness::atac_plus(PhotonicFlavor::kDefault)},
-      {"ATAC+(RingTuned)", harness::atac_plus(PhotonicFlavor::kRingTuned)},
-      {"ATAC+(Cons)", harness::atac_plus(PhotonicFlavor::kCons)},
-      {"EMesh-BCast", harness::emesh_bcast()},
-      {"EMesh-Pure", harness::emesh_pure()},
+  const std::vector<std::pair<std::string, MachineParams>> configs = {
+      {"ATAC+(Ideal)", atac_plus(PhotonicFlavor::kIdeal)},
+      {"ATAC+", atac_plus(PhotonicFlavor::kDefault)},
+      {"ATAC+(RingTuned)", atac_plus(PhotonicFlavor::kRingTuned)},
+      {"ATAC+(Cons)", atac_plus(PhotonicFlavor::kCons)},
+      {"EMesh-BCast", emesh_bcast()},
+      {"EMesh-Pure", emesh_pure()},
   };
 
-  exp::ExperimentPlan plan;
-  // cells[app][config] — the four ATAC+ flavours dedupe onto one run.
-  std::vector<std::vector<std::size_t>> cells;
-  for (const auto& app : benchmarks()) {
-    std::vector<std::size_t> per_config;
-    for (const auto& c : configs)
-      per_config.push_back(plan_cell(plan, app, c.mp));
-    cells.push_back(std::move(per_config));
-  }
-  const auto res = execute(plan, jobs);
+  // The four ATAC+ flavours dedupe onto one run per app (plan dedupe on
+  // scenario key).
+  exp::sweep::CellConfig base;
+  base.scenario.scale = bench_scale();
+  exp::sweep::SweepSpec spec(base);
+  spec.axis(exp::sweep::apps_axis(benchmarks()))
+      .axis(exp::sweep::machine_axis(configs));
+  const auto res = run_sweep(spec, ctx);
+  const auto norm =
+      res.grid([](const Outcome& o) { return o.edp(); }).normalized_rows(0);
+  const auto means = norm.col_geomeans();
 
   std::vector<std::string> header = {"benchmark"};
-  for (const auto& c : configs) header.push_back(c.name);
+  for (const auto& c : configs) header.push_back(c.first);
   Table t(header);
-
-  std::vector<std::vector<double>> ratios(configs.size());
   for (std::size_t a = 0; a < benchmarks().size(); ++a) {
-    std::vector<double> edp;
-    for (std::size_t i = 0; i < configs.size(); ++i)
-      edp.push_back(res.outcomes[cells[a][i]].edp());
     std::vector<std::string> row = {benchmarks()[a]};
-    for (std::size_t i = 0; i < configs.size(); ++i) {
-      const double r = edp[i] / edp[0];
-      ratios[i].push_back(r);
-      row.push_back(Table::num(r, 2));
-    }
+    for (std::size_t i = 0; i < configs.size(); ++i)
+      row.push_back(Table::num(norm.at(a, i), 2));
     t.add_row(std::move(row));
   }
   std::vector<std::string> avg = {"geomean"};
-  std::vector<double> means;
-  for (auto& r : ratios) {
-    means.push_back(geomean(r));
-    avg.push_back(Table::num(means.back(), 2));
-  }
+  for (const double m : means) avg.push_back(Table::num(m, 2));
   t.add_row(std::move(avg));
   t.print(std::cout);
 
@@ -68,6 +54,12 @@ int main(int argc, char** argv) {
       "\nHeadline: EMesh-BCast/ATAC+ = %.2fx, EMesh-Pure/ATAC+ = %.2fx"
       "\n(paper: 1.8x and 4.8x); ATAC+/Ideal = %.2fx (paper: ~1.0x).\n\n",
       means[4] / atac, means[5] / atac, atac / means[0]);
-  emit_report("fig08_edp", res);
+  emit_report("fig08_edp", res.plan_result());
   return 0;
 }
+
+}  // namespace
+
+ATACSIM_BENCH("fig08_edp",
+              "Fig. 8: normalized energy-delay product per app and config",
+              run_fig08);

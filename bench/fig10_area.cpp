@@ -10,17 +10,28 @@
 using namespace atacsim;
 using namespace atacsim::bench;
 
-int main() {
+namespace {
+
+int run_fig10(const Context&) {
   print_header("Figure 10", "chip area breakdown (mm^2)");
 
-  const power::EnergyModel atac(harness::atac_plus());
-  const power::EnergyModel mesh(harness::emesh_bcast());
+  const power::EnergyModel atac(atac_plus());
+  const power::EnergyModel mesh(emesh_bcast());
   const auto a = atac.area();
   const auto m = mesh.area();
+
+  exp::report::Report rep;
+  rep.name = "fig10_area";
 
   Table t({"component", "ATAC+ (mm^2)", "EMesh (mm^2)"});
   auto row = [&](const char* n, double x, double y) {
     t.add_row({n, Table::num(x, 1), Table::num(y, 1)});
+    exp::report::Row rr;
+    rr.app = n;
+    rr.config = "area";
+    rr.stats.add("atac_plus_mm2", x);
+    rr.stats.add("emesh_mm2", y);
+    rep.rows.push_back(std::move(rr));
   };
   row("L1-I caches", a.l1i, m.l1i);
   row("L1-D caches", a.l1d, m.l1d);
@@ -37,5 +48,12 @@ int main() {
       "\noptical area: %.1f mm^2 (paper: ~40 mm^2 at 64-bit flits).\n\n",
       100.0 * a.caches() / a.total(), 100.0 * m.caches() / m.total(),
       a.optical);
+  emit_report(rep);
   return 0;
 }
+
+}  // namespace
+
+ATACSIM_BENCH("fig10_area",
+              "Fig. 10: chip area breakdown, ATAC+ vs electrical mesh",
+              run_fig10);

@@ -10,32 +10,51 @@
 using namespace atacsim;
 using namespace atacsim::bench;
 
-int main() {
+namespace {
+
+int run_fig12(const Context& ctx) {
   print_header("Figure 12", "BNet vs StarNet energy (Cluster routing)");
 
-  auto bnet_mp = harness::atac_plus();
+  auto bnet_mp = atac_plus();
   bnet_mp.routing = RoutingPolicy::kCluster;
   bnet_mp.receive_net = ReceiveNet::kBNet;
   auto star_mp = bnet_mp;
   star_mp.receive_net = ReceiveNet::kStarNet;
 
+  exp::sweep::CellConfig base;
+  base.scenario.scale = bench_scale();
+  exp::sweep::SweepSpec spec(base);
+  spec.axis(exp::sweep::apps_axis(benchmarks()))
+      .axis(exp::sweep::machine_axis(
+          {{"BNet", bnet_mp}, {"StarNet", star_mp}}));
+  const auto res = run_sweep(spec, ctx);
+  const auto norm =
+      res.grid([](const Outcome& o) { return o.energy.chip_no_core(); })
+          .normalized_rows(0);
+  const auto gm = norm.col_geomeans();
+
   Table t({"benchmark", "BNet energy (mJ)", "StarNet energy (mJ)",
            "StarNet/BNet", "recvnet share % (BNet)"});
-  std::vector<double> ratios;
-  for (const auto& app : benchmarks()) {
-    const auto b = run(app, bnet_mp);
-    const auto s = run(app, star_mp);
+  for (std::size_t i = 0; i < benchmarks().size(); ++i) {
+    const auto& b = res.at({i, 0});
+    const auto& s = res.at({i, 1});
     const double eb = b.energy.chip_no_core();
     const double es = s.energy.chip_no_core();
-    ratios.push_back(es / eb);
-    t.add_row({app, Table::num(eb * 1e3, 3), Table::num(es * 1e3, 3),
-               Table::num(es / eb, 3),
+    t.add_row({benchmarks()[i], Table::num(eb * 1e3, 3),
+               Table::num(es * 1e3, 3), Table::num(es / eb, 3),
                Table::num(100.0 * b.energy.recvnet / eb, 2)});
   }
-  t.add_row({"geomean", "-", "-", Table::num(geomean(ratios), 3), "-"});
+  t.add_row({"geomean", "-", "-", Table::num(gm[1], 3), "-"});
   t.print(std::cout);
   std::printf(
       "\nPaper check: StarNet reduces overall energy (paper: ~8%% average),"
       "\nmost on unicast-heavy benchmarks.\n\n");
+  emit_report("fig12_starnet", res.plan_result());
   return 0;
 }
+
+}  // namespace
+
+ATACSIM_BENCH("fig12_starnet",
+              "Fig. 12: BNet vs StarNet receive-net energy comparison",
+              run_fig12);

@@ -9,7 +9,9 @@
 using namespace atacsim;
 using namespace atacsim::bench;
 
-int main() {
+namespace {
+
+int run_fig13(const Context& ctx) {
   print_header("Figure 13", "routing-protocol energy-delay product");
 
   struct Policy {
@@ -29,32 +31,44 @@ int main() {
   const std::vector<std::string> apps = {"radix", "ocean_contig", "barnes",
                                          "lu_contig"};
 
+  exp::sweep::CellConfig base;
+  base.scenario.mp = atac_plus();
+  base.scenario.scale = bench_scale();
+  exp::sweep::SweepSpec spec(base);
+  spec.axis(exp::sweep::apps_axis(apps))
+      .axis(exp::sweep::value_axis<Policy>(
+          "routing", policies, [](const Policy& p) { return p.name; },
+          [](exp::sweep::CellConfig& c, const Policy& p) {
+            c.scenario.mp.routing = p.pol;
+            c.scenario.mp.r_thres = p.r;
+          }));
+  const auto res = run_sweep(spec, ctx);
+  const auto norm = res.grid([](const Outcome& o) { return o.edp(); })
+                        .normalized_rows(0);
+  const auto gm = norm.col_geomeans();
+
   std::vector<std::string> header = {"benchmark"};
   for (const auto& p : policies) header.push_back(p.name);
   Table t(header);
-
-  std::vector<std::vector<double>> ratios(policies.size());
-  for (const auto& app : apps) {
-    std::vector<double> edp;
-    for (const auto& p : policies) {
-      auto mp = harness::atac_plus();
-      mp.routing = p.pol;
-      mp.r_thres = p.r;
-      edp.push_back(run(app, mp).edp());
-    }
-    std::vector<std::string> row = {app};
-    for (std::size_t i = 0; i < policies.size(); ++i) {
-      ratios[i].push_back(edp[i] / edp[0]);
-      row.push_back(Table::num(edp[i] / edp[0], 3));
-    }
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    std::vector<std::string> row = {apps[a]};
+    for (std::size_t i = 0; i < policies.size(); ++i)
+      row.push_back(Table::num(norm.at(a, i), 3));
     t.add_row(std::move(row));
   }
   std::vector<std::string> avg = {"geomean"};
-  for (auto& r : ratios) avg.push_back(Table::num(geomean(r), 3));
+  for (const double g : gm) avg.push_back(Table::num(g, 3));
   t.add_row(std::move(avg));
   t.print(std::cout);
   std::printf(
       "\nPaper check: Distance-15 has the lowest average E-D product"
       "\n(paper: ~10%% below Cluster); Distance-All is worst.\n\n");
+  emit_report("fig13_routing", res.plan_result());
   return 0;
 }
+
+}  // namespace
+
+ATACSIM_BENCH("fig13_routing",
+              "Fig. 13: EDP of cluster vs distance-based routing policies",
+              run_fig13);

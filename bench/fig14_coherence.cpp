@@ -10,8 +10,9 @@
 using namespace atacsim;
 using namespace atacsim::bench;
 
-int main(int argc, char** argv) {
-  const int jobs = parse_jobs(argc, argv);
+namespace {
+
+int run_fig14(const Context& ctx) {
   print_header("Figure 14", "coherence-protocol energy-delay product");
 
   struct Config {
@@ -30,44 +31,46 @@ int main(int argc, char** argv) {
   const std::vector<std::string> apps = {"radix", "barnes", "fmm",
                                          "ocean_contig"};
 
-  exp::ExperimentPlan plan;
-  std::vector<std::vector<std::size_t>> cells;  // [app][config]
-  for (const auto& app : apps) {
-    std::vector<std::size_t> per_config;
-    for (const auto& c : configs) {
-      auto mp = MachineParams::paper();
-      mp.network = c.net;
-      mp.coherence = c.coh;
-      per_config.push_back(plan_cell(plan, app, mp));
-    }
-    cells.push_back(std::move(per_config));
-  }
-  const auto res = execute(plan, jobs);
+  exp::sweep::CellConfig base;
+  base.scenario.mp = base_machine();
+  base.scenario.scale = bench_scale();
+  exp::sweep::SweepSpec spec(base);
+  spec.axis(exp::sweep::apps_axis(apps))
+      .axis(exp::sweep::value_axis<Config>(
+          "network/coherence", configs,
+          [](const Config& c) { return c.name; },
+          [](exp::sweep::CellConfig& cell, const Config& c) {
+            cell.scenario.mp.network = c.net;
+            cell.scenario.mp.coherence = c.coh;
+          }));
+  const auto res = run_sweep(spec, ctx);
+  const auto norm = res.grid([](const Outcome& o) { return o.edp(); })
+                        .normalized_rows(0);
+  const auto gm = norm.col_geomeans();
 
   std::vector<std::string> header = {"benchmark"};
   for (const auto& c : configs) header.push_back(c.name);
   Table t(header);
-
-  std::vector<std::vector<double>> ratios(configs.size());
   for (std::size_t a = 0; a < apps.size(); ++a) {
-    std::vector<double> edp;
-    for (std::size_t i = 0; i < configs.size(); ++i)
-      edp.push_back(res.outcomes[cells[a][i]].edp());
     std::vector<std::string> row = {apps[a]};
-    for (std::size_t i = 0; i < configs.size(); ++i) {
-      ratios[i].push_back(edp[i] / edp[0]);
-      row.push_back(Table::num(edp[i] / edp[0], 2));
-    }
+    for (std::size_t i = 0; i < configs.size(); ++i)
+      row.push_back(Table::num(norm.at(a, i), 2));
     t.add_row(std::move(row));
   }
   std::vector<std::string> avg = {"geomean"};
-  for (auto& r : ratios) avg.push_back(Table::num(geomean(r), 2));
+  for (const double g : gm) avg.push_back(Table::num(g, 2));
   t.add_row(std::move(avg));
   t.print(std::cout);
   std::printf(
       "\nPaper check: ACKwise4 beats Dir4B on both networks; Dir4B's"
       "\ndegradation is larger on EMesh-BCast and grows with broadcast"
       "\nfrequency (barnes, fmm, radix).\n\n");
-  emit_report("fig14_coherence", res);
+  emit_report("fig14_coherence", res.plan_result());
   return 0;
 }
+
+}  // namespace
+
+ATACSIM_BENCH("fig14_coherence",
+              "Fig. 14: EDP of ACKwise4 vs Dir4B on ATAC+ and EMesh-BCast",
+              run_fig14);

@@ -7,22 +7,38 @@
 using namespace atacsim;
 using namespace atacsim::bench;
 
-int main() {
+namespace {
+
+int run_fig16(const Context& ctx) {
   print_header("Figure 16", "energy breakdown vs ACKwise hardware sharers");
 
   const std::vector<int> ks = {4, 8, 16, 32, 1024};
   const std::vector<std::string> apps = {"radix", "barnes", "fmm",
                                          "ocean_contig", "dynamic_graph"};
 
+  exp::sweep::CellConfig base;
+  base.scenario.mp = atac_plus();
+  base.scenario.scale = bench_scale();
+  exp::sweep::SweepSpec spec(base);
+  spec.axis(exp::sweep::value_axis<int>(
+          "num_hw_sharers", ks,
+          [](int k) { return "k=" + std::to_string(k); },
+          [](exp::sweep::CellConfig& c, int k) {
+            c.scenario.mp.num_hw_sharers = k;
+          }))
+      .axis(exp::sweep::apps_axis(apps));
+  const auto res = run_sweep(spec, ctx);
+
   Table t({"k", "directory (norm)", "caches (norm)", "network (norm)",
            "TOTAL (norm)", "dir size/slice (KB)", "area total (norm)"});
   double base_total = 0, base_area = 0;
-  for (int k : ks) {
-    auto mp = harness::atac_plus();
+  for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+    const int k = ks[ki];
+    auto mp = atac_plus();
     mp.num_hw_sharers = k;
     double dir = 0, caches = 0, network = 0, total = 0;
-    for (const auto& app : apps) {
-      const auto o = run(app, mp);
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+      const auto& o = res.at({ki, ai});
       dir += o.energy.directory;
       caches += o.energy.caches();
       network += o.energy.network();
@@ -46,5 +62,12 @@ int main() {
   std::printf(
       "\nPaper check: directory energy/area grow with k; total energy and"
       "\narea roughly double from k=4 to k=1024.\n\n");
+  emit_report("fig16_sharers_energy", res.plan_result());
   return 0;
 }
+
+}  // namespace
+
+ATACSIM_BENCH("fig16_sharers_energy",
+              "Fig. 16: energy/area breakdown vs ACKwise sharer pointers k",
+              run_fig16);

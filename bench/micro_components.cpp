@@ -2,8 +2,14 @@
 // event-queue throughput, flow-level network injection, cache-array lookups,
 // and coherence miss round-trips. These guard the simulator's own
 // performance (a 1024-core application run issues millions of each).
+//
+// The BENCHMARK() macros self-register with google-benchmark; the registry
+// entry below drives them through RunSpecifiedBenchmarks with a console
+// reporter that also captures every run for the machine-readable report
+// (timings vary run to run, unlike the figure tables).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "memory/cache_array.hpp"
 #include "network/atac_model.hpp"
 #include "network/emesh_model.hpp"
@@ -90,7 +96,50 @@ void BM_CoherenceMissRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_CoherenceMissRoundTrip);
 
-}  // namespace
-}  // namespace atacsim
+/// Console reporter that also keeps every run for the JSON/CSV report.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  std::vector<Run> captured;
 
-BENCHMARK_MAIN();
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const auto& r : report) captured.push_back(r);
+    ConsoleReporter::ReportRuns(report);
+  }
+};
+
+int run_micro_components(const bench::Context&) {
+  int argc = 1;
+  char prog[] = "micro_components";
+  char* argv[] = {prog, nullptr};
+  benchmark::Initialize(&argc, argv);
+
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  exp::report::Report rep;
+  rep.name = "micro_components";
+  for (const auto& r : reporter.captured) {
+    if (r.error_occurred) continue;
+    exp::report::Row rr;
+    rr.app = r.benchmark_name();
+    rr.config = "microbench";
+    rr.stats.add("iterations", static_cast<double>(r.iterations));
+    rr.stats.add("real_time_ns", r.GetAdjustedRealTime());
+    rr.stats.add("cpu_time_ns", r.GetAdjustedCPUTime());
+    const auto it = r.counters.find("items_per_second");
+    rr.stats.add("items_per_second",
+                 it != r.counters.end() ? static_cast<double>(it->second)
+                                        : 0.0);
+    rep.rows.push_back(std::move(rr));
+  }
+  bench::emit_report(rep);
+  return 0;
+}
+
+}  // namespace
+
+ATACSIM_BENCH("micro_components",
+              "Microbenchmarks of the simulator's hot components",
+              run_micro_components);
+
+}  // namespace atacsim

@@ -6,19 +6,21 @@
 using namespace atacsim;
 using namespace atacsim::bench;
 
-int main(int argc, char** argv) {
-  const int jobs = parse_jobs(argc, argv);
+namespace {
+
+int run_tab05(const Context& ctx) {
   print_header("Table V", "adaptive SWMR link utilization");
 
-  exp::ExperimentPlan plan;
-  std::vector<std::size_t> cells;
-  for (const auto& app : benchmarks())
-    cells.push_back(plan_cell(plan, app, harness::atac_plus()));
-  const auto res = execute(plan, jobs);
+  exp::sweep::CellConfig base;
+  base.scenario.scale = bench_scale();
+  exp::sweep::SweepSpec spec(base);
+  spec.axis(exp::sweep::apps_axis(benchmarks()))
+      .axis(exp::sweep::machine_axis({{"ATAC+", atac_plus()}}));
+  const auto res = run_sweep(spec, ctx);
 
   Table t({"benchmark", "link utilization %", "unicasts per broadcast"});
   for (std::size_t i = 0; i < benchmarks().size(); ++i) {
-    const auto& o = res.outcomes[cells[i]];
+    const auto& o = res.at({i, 0});
     const double ub =
         o.onet_bcasts ? static_cast<double>(o.onet_unicasts) / o.onet_bcasts
                       : 0.0;
@@ -30,6 +32,12 @@ int main(int argc, char** argv) {
       "\nPaper check: the link idles 70-90+%% of the time (power-gating"
       "\npays); lu_contig has the most unicasts per broadcast, the N-body"
       "\nand graph codes the fewest.\n\n");
-  emit_report("tab05_swmr_util", res);
+  emit_report("tab05_swmr_util", res.plan_result());
   return 0;
 }
+
+}  // namespace
+
+ATACSIM_BENCH("tab05_swmr_util",
+              "Table V: adaptive SWMR link utilization per benchmark",
+              run_tab05);

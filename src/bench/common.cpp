@@ -1,0 +1,73 @@
+#include "bench/common.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "apps/app.hpp"
+
+namespace atacsim::bench {
+
+const std::vector<std::string>& benchmarks() { return apps::app_names(); }
+
+double bench_scale() {
+  const char* e = std::getenv("ATACSIM_SCALE");
+  if (!e || !*e) return 1.0;
+  char* end = nullptr;
+  const double v = std::strtod(e, &end);
+  if (!end || *end != '\0' || !std::isfinite(v) || v <= 0.0)
+    throw std::runtime_error(
+        std::string("ATACSIM_SCALE=\"") + e +
+        "\": must be a positive number (a zero or garbage scale would "
+        "silently run degenerate simulations)");
+  return v;
+}
+
+MachineParams base_machine() {
+  const char* e = std::getenv("ATACSIM_BENCH_MESH");
+  if (!e || !*e) return MachineParams::paper();
+  int mesh_w = 0, cluster_w = 0;
+  char trailing = '\0';
+  if (std::sscanf(e, "%dx%d%c", &mesh_w, &cluster_w, &trailing) != 2 ||
+      mesh_w <= 0 || cluster_w <= 0)
+    throw std::runtime_error(
+        std::string("ATACSIM_BENCH_MESH=\"") + e +
+        "\": expected <mesh_width>x<cluster_width>, e.g. 8x2");
+  try {
+    return MachineParams::small(mesh_w, cluster_w);
+  } catch (const std::invalid_argument& ex) {
+    throw std::runtime_error(std::string("ATACSIM_BENCH_MESH=\"") + e +
+                             "\": " + ex.what());
+  }
+}
+
+MachineParams atac_plus(PhotonicFlavor f) {
+  auto mp = base_machine();
+  mp.network = NetworkKind::kAtacPlus;
+  mp.photonics = f;
+  return mp;
+}
+
+MachineParams emesh_bcast() {
+  auto mp = base_machine();
+  mp.network = NetworkKind::kEMeshBCast;
+  return mp;
+}
+
+MachineParams emesh_pure() {
+  auto mp = base_machine();
+  mp.network = NetworkKind::kEMeshPure;
+  return mp;
+}
+
+void print_header(const char* fig, const char* what) {
+  const auto mp = base_machine();
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", fig, what);
+  std::printf("machine: %d cores, %d clusters, 11 nm (paper Tables I-III)\n",
+              mp.num_cores, mp.num_clusters());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace atacsim::bench

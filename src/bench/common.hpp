@@ -1,0 +1,37 @@
+// Shared machine/scale configuration for the bench entries: the benchmark
+// application list, the (possibly smoke-sized) machine under test, and the
+// standard paper configurations built on it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/params.hpp"
+
+namespace atacsim::bench {
+
+/// The paper's eight benchmarks (Fig. 4 order).
+const std::vector<std::string>& benchmarks();
+
+/// Problem-size multiplier for the full-figure runs; override with
+/// ATACSIM_SCALE for quicker smoke runs. Throws std::runtime_error when the
+/// variable is set but unparseable or non-positive — a degenerate scale
+/// silently simulates nothing.
+double bench_scale();
+
+/// The machine every figure studies: the paper's 1024-core configuration,
+/// or — when ATACSIM_BENCH_MESH=<mesh_width>x<cluster_width> is set (CI
+/// smoke runs) — a smaller square mesh. Throws std::runtime_error on a
+/// malformed value.
+MachineParams base_machine();
+
+// Standard paper configurations on the bench machine (identical to the
+// harness:: builders at the default 1024-core mesh).
+MachineParams atac_plus(PhotonicFlavor f = PhotonicFlavor::kDefault);
+MachineParams emesh_bcast();
+MachineParams emesh_pure();
+
+/// Prints the figure banner, naming the actual machine under test.
+void print_header(const char* fig, const char* what);
+
+}  // namespace atacsim::bench

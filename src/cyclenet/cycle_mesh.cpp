@@ -9,6 +9,14 @@ CycleMesh::CycleMesh(const MachineParams& mp, int buffer_depth)
       nodes_(static_cast<std::size_t>(geom_.num_cores())) {
   for (auto& n : nodes_)
     for (int d = 0; d < 4; ++d) n.credits[d] = depth_;
+  for (int ni = 0; ni < static_cast<int>(nodes_.size()); ++ni)
+    for (int d = 0; d < 4; ++d)
+      if (neighbor(ni, d) >= 0) ++num_links_;
+}
+
+void CycleMesh::append_channel_usage(std::vector<net::ChannelUsage>& out) const {
+  out.push_back({"cyclenet.links", link_busy_cycles_, num_links_});
+  out.push_back({"cyclenet.eject", eject_busy_cycles_, nodes_.size()});
 }
 
 int CycleMesh::neighbor(int node, int dir) const {
@@ -109,6 +117,7 @@ void CycleMesh::step() {
         ++nodes_[static_cast<std::size_t>(up)].credits[opposite(mv.in)];
     }
     if (mv.out == kLocal) {
+      ++eject_busy_cycles_;
       ++delivered_flits_;
       if (f.tail) {
         ++delivered_;
@@ -117,6 +126,7 @@ void CycleMesh::step() {
         latency_.sample(static_cast<double>(now_ - f.injected + 2));
       }
     } else {
+      ++link_busy_cycles_;
       --n.credits[mv.out];
       const int nb = neighbor(mv.node, mv.out);
       assert(nb >= 0 && "routed off-mesh");

@@ -15,6 +15,7 @@
 #include "common/params.hpp"
 #include "common/stats.hpp"
 #include "network/mesh_geom.hpp"
+#include "network/packet.hpp"
 
 namespace atacsim::cyclenet {
 
@@ -50,6 +51,18 @@ class CycleMesh {
     delivered_flits_ = 0;
   }
 
+  /// Directed inter-router links in the mesh (4*W*(W-1) for a W x W mesh).
+  std::size_t num_links() const { return num_links_; }
+
+  /// Exports the same ChannelUsage view the flow-level models provide, so
+  /// the validation layer's channel-ledger capacity probe and the
+  /// abl_netmodel_xcheck bench compare both models through one interface.
+  /// Busy cycles are cumulative over the mesh's lifetime (reset_stats does
+  /// not clear them), matching the flow models' reservation ledgers. Each
+  /// flit crossing a link costs that link one busy cycle, so
+  /// "cyclenet.links" busy can never exceed elapsed x num_links().
+  void append_channel_usage(std::vector<net::ChannelUsage>& out) const;
+
  private:
   // Ports: 0..3 = E,W,S,N neighbours; 4 = local (inject side / eject side).
   static constexpr int kPorts = 5;
@@ -77,6 +90,9 @@ class CycleMesh {
   std::uint64_t next_pkt_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t delivered_flits_ = 0;
+  std::size_t num_links_ = 0;
+  Cycle link_busy_cycles_ = 0;   ///< flit-cycles on inter-router links
+  Cycle eject_busy_cycles_ = 0;  ///< flit-cycles on local ejection ports
   Accumulator latency_;
 };
 

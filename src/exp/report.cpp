@@ -130,10 +130,24 @@ std::string num(double v) {
 
 }  // namespace
 
-void write_json(std::ostream& os, const std::string& name,
-                const PlanResult& r) {
+Report Report::from_plan(const std::string& name, const PlanResult& r) {
+  Report rep;
+  rep.name = name;
+  rep.jobs = r.jobs;
+  rep.cells = r.cells;
+  rep.cache_hits = r.cache_hits;
+  rep.simulations = r.simulations;
+  rep.wall_seconds = r.wall_seconds;
+  rep.rows.reserve(r.outcomes.size());
+  for (const auto& o : r.outcomes)
+    rep.rows.push_back(
+        Row{o.app, o.config, o.finished, o.verify_msg, outcome_stats(o)});
+  return rep;
+}
+
+void write_json(std::ostream& os, const Report& r) {
   os << "{\n"
-     << "  \"name\": \"" << json_escape(name) << "\",\n"
+     << "  \"name\": \"" << json_escape(r.name) << "\",\n"
      << "  \"schema\": \"atacsim-exp-report-v1\",\n"
      << "  \"jobs\": " << r.jobs << ",\n"
      << "  \"cells\": " << r.cells << ",\n"
@@ -141,16 +155,15 @@ void write_json(std::ostream& os, const std::string& name,
      << "  \"simulations\": " << r.simulations << ",\n"
      << "  \"wall_seconds\": " << num(r.wall_seconds) << ",\n"
      << "  \"outcomes\": [";
-  for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
-    const auto& o = r.outcomes[i];
+  for (std::size_t i = 0; i < r.rows.size(); ++i) {
+    const auto& o = r.rows[i];
     os << (i ? ",\n" : "\n") << "    {\"app\": \"" << json_escape(o.app)
        << "\", \"config\": \"" << json_escape(o.config)
        << "\", \"finished\": " << (o.finished ? "true" : "false")
        << ", \"verify_msg\": \"" << json_escape(o.verify_msg)
        << "\", \"stats\": {";
-    const auto st = outcome_stats(o);
     bool first = true;
-    for (const auto& [k, v] : st.items()) {
+    for (const auto& [k, v] : o.stats.items()) {
       os << (first ? "" : ", ") << "\"" << json_escape(k) << "\": " << num(v);
       first = false;
     }
@@ -159,16 +172,14 @@ void write_json(std::ostream& os, const std::string& name,
   os << "\n  ]\n}\n";
 }
 
-void write_csv(std::ostream& os,
-               const std::vector<harness::Outcome>& outcomes) {
-  if (outcomes.empty()) {
+void write_csv(std::ostream& os, const Report& r) {
+  if (r.rows.empty()) {
     os << "app,config,finished,verify_msg\n";
     return;
   }
-  // Stat names are identical across outcomes; the first row fixes the order.
-  const auto head = outcome_stats(outcomes.front());
+  // Stat names are identical across rows; the first row fixes the order.
   os << "app,config,finished,verify_msg";
-  for (const auto& [k, v] : head.items()) {
+  for (const auto& [k, v] : r.rows.front().stats.items()) {
     (void)v;
     os << ',' << k;
   }
@@ -182,11 +193,10 @@ void write_csv(std::ostream& os,
     }
     return q + "\"";
   };
-  for (const auto& o : outcomes) {
+  for (const auto& o : r.rows) {
     os << field(o.app) << ',' << field(o.config) << ','
        << (o.finished ? 1 : 0) << ',' << field(o.verify_msg);
-    const auto st = outcome_stats(o);
-    for (const auto& [k, v] : st.items()) {
+    for (const auto& [k, v] : o.stats.items()) {
       (void)k;
       os << ',' << num(v);
     }
@@ -194,34 +204,53 @@ void write_csv(std::ostream& os,
   }
 }
 
+void write_json(std::ostream& os, const std::string& name,
+                const PlanResult& r) {
+  write_json(os, Report::from_plan(name, r));
+}
+
+void write_csv(std::ostream& os,
+               const std::vector<harness::Outcome>& outcomes) {
+  Report rep;
+  rep.rows.reserve(outcomes.size());
+  for (const auto& o : outcomes)
+    rep.rows.push_back(
+        Row{o.app, o.config, o.finished, o.verify_msg, outcome_stats(o)});
+  write_csv(os, rep);
+}
+
 std::string report_dir() {
   if (const char* e = std::getenv("ATACSIM_REPORT_DIR")) return e;
   return "bench_reports";
 }
 
-std::vector<std::string> write_report(const std::string& name,
-                                      const PlanResult& r) {
+std::vector<std::string> write_report(const Report& r) {
   const fs::path dir = report_dir();
   std::error_code ec;
   fs::create_directories(dir, ec);
   std::vector<std::string> written;
-  const fs::path json = dir / (name + ".json");
+  const fs::path json = dir / (r.name + ".json");
   {
     std::ofstream os(json);
     if (!os) return written;
-    write_json(os, name, r);
+    write_json(os, r);
     if (!os.good()) return written;
   }
   written.push_back(json.string());
-  const fs::path csv = dir / (name + ".csv");
+  const fs::path csv = dir / (r.name + ".csv");
   {
     std::ofstream os(csv);
     if (!os) return written;
-    write_csv(os, r.outcomes);
+    write_csv(os, r);
     if (!os.good()) return written;
   }
   written.push_back(csv.string());
   return written;
+}
+
+std::vector<std::string> write_report(const std::string& name,
+                                      const PlanResult& r) {
+  return write_report(Report::from_plan(name, r));
 }
 
 }  // namespace atacsim::exp::report

@@ -127,7 +127,7 @@ TEST(Report, CsvHasHeaderAndOneRowPerOutcome) {
 
 TEST(Report, EmptyOutcomesStillProducesHeader) {
   std::ostringstream os;
-  write_csv(os, {});
+  write_csv(os, std::vector<harness::Outcome>{});
   EXPECT_EQ(os.str(), "app,config,finished,verify_msg\n");
 }
 
