@@ -7,14 +7,19 @@
 //   atacsim-bench --list
 //   atacsim-bench fig08_edp tab05_swmr_util
 //   atacsim-bench --filter='fig1*' --jobs=8
-//   atacsim-bench --all
+//   atacsim-bench --all --obs-dir=bench_reports/obs
 #include <cstdio>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench/args.hpp"
 #include "bench/registry.hpp"
+#include "obs/log.hpp"
+#include "obs/options.hpp"
+#include "obs/profile.hpp"
 
 namespace {
 
@@ -22,6 +27,7 @@ using atacsim::bench::Args;
 using atacsim::bench::Context;
 using atacsim::bench::Entry;
 using atacsim::bench::Registry;
+namespace log = atacsim::obs::log;
 
 /// Entries selected by the command line, in registry (name) order, deduped.
 std::vector<const Entry*> select(const Args& args) {
@@ -45,6 +51,32 @@ int list_entries() {
   return 0;
 }
 
+/// One self-profile document per entry: written after the entry finishes,
+/// then reset so phases/worker stats never bleed across entries. The file
+/// is explicitly nondeterministic (host wall time) and lives apart from the
+/// deterministic series/trace artifacts.
+void flush_profile(const std::string& entry) {
+  auto& prof = atacsim::obs::SelfProfile::instance();
+  if (!atacsim::obs::options().enabled) return;
+  if (prof.empty()) {
+    prof.reset();
+    return;
+  }
+  namespace fs = std::filesystem;
+  const std::string dir = atacsim::obs::options().dir;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const std::string path =
+      (fs::path(dir) / (entry + ".profile.json")).string();
+  std::ofstream os(path);
+  prof.write_json(os, entry);
+  if (!os.good())
+    log::warnf("obs: failed writing %s", path.c_str());
+  else
+    log::infof("obs: wrote %s", path.c_str());
+  prof.reset();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -52,8 +84,8 @@ int main(int argc, char** argv) {
   try {
     args = atacsim::bench::parse_args(argc, argv);
   } catch (const std::exception& ex) {
-    std::fprintf(stderr, "atacsim-bench: %s\n%s", ex.what(),
-                 atacsim::bench::usage());
+    log::errorf("atacsim-bench: %s", ex.what());
+    std::fputs(atacsim::bench::usage(), stderr);
     return 2;
   }
   if (args.help) {
@@ -62,14 +94,23 @@ int main(int argc, char** argv) {
   }
   if (args.list) return list_entries();
   if (!args.all && args.filters.empty()) {
-    std::fprintf(stderr, "atacsim-bench: nothing selected\n%s",
-                 atacsim::bench::usage());
+    log::errorf("atacsim-bench: nothing selected");
+    std::fputs(atacsim::bench::usage(), stderr);
     return 2;
+  }
+
+  if (!args.obs_dir.empty()) {
+    // --obs-dir both arms telemetry and overrides the artifact directory;
+    // epoch period still honours ATACSIM_OBS_EPOCH.
+    atacsim::obs::Options o = atacsim::obs::options();
+    o.enabled = true;
+    o.dir = args.obs_dir;
+    atacsim::obs::set_options(o);
   }
 
   const auto selected = select(args);
   if (selected.empty()) {
-    std::fprintf(stderr, "atacsim-bench: no entry matches the filter(s)\n");
+    log::errorf("atacsim-bench: no entry matches the filter(s)");
     return 2;
   }
 
@@ -79,20 +120,18 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < selected.size(); ++i) {
     const Entry* e = selected[i];
     if (selected.size() > 1)
-      std::fprintf(stderr, "[%zu/%zu] %s\n", i + 1, selected.size(),
-                   e->name.c_str());
+      log::infof("[%zu/%zu] %s", i + 1, selected.size(), e->name.c_str());
     try {
       const int rc = e->fn(ctx);
       if (rc != 0) {
-        std::fprintf(stderr, "atacsim-bench: %s exited with %d\n",
-                     e->name.c_str(), rc);
+        log::errorf("atacsim-bench: %s exited with %d", e->name.c_str(), rc);
         ++failures;
       }
     } catch (const std::exception& ex) {
-      std::fprintf(stderr, "atacsim-bench: %s failed: %s\n", e->name.c_str(),
-                   ex.what());
+      log::errorf("atacsim-bench: %s failed: %s", e->name.c_str(), ex.what());
       ++failures;
     }
+    flush_profile(e->name);
     if (i + 1 < selected.size()) std::printf("\n");
   }
   return failures ? 1 : 0;

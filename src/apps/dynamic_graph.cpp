@@ -10,19 +10,21 @@
 // broadcast fraction in the suite (paper Table V: 505 unicasts/broadcast at
 // 12% utilization; Fig. 5 shows dynamic_graph as the most broadcast-heavy).
 #include <cstdint>
-#include <cstdio>
 #include <cstdlib>
 #include <vector>
 
 #include "apps/app.hpp"
 #include "common/rng.hpp"
 #include "core/sync.hpp"
+#include "obs/log.hpp"
 
 namespace atacsim::apps {
 namespace {
 
 // Hoisted: the flag is consulted once per propagation round per core, and
 // getenv is not reliably thread-safe once machines run on worker threads.
+// The per-round trace lines are emitted at debug level, so enabling them
+// requires ATACSIM_DG_TRACE=1 *and* ATACSIM_LOG=debug (see DESIGN.md §10).
 bool dg_trace() {
   static const bool v = std::getenv("ATACSIM_DG_TRACE") != nullptr;
   return v;
@@ -146,13 +148,13 @@ class DynamicGraphApp final : public App {
       co_await barrier_.wait(c, sense);
       if (c.id() == 0) {
         if (dg_trace())
-          std::fprintf(stderr, "round @%llu\n", (unsigned long long)c.now());
+          obs::log::debugf("round @%llu", (unsigned long long)c.now());
         co_await c.write<std::uint64_t>(&changed_, 0);
       }
       co_await barrier_.wait(c, sense);
       bool local_changed = false;
       if (c.id() == 0 && dg_trace())
-        std::fprintf(stderr, "  scan @%llu\n", (unsigned long long)c.now());
+        obs::log::debugf("  scan @%llu", (unsigned long long)c.now());
       for (int u = mine.begin; u < mine.end; ++u) {
         const auto mu = co_await c.read(&mark[static_cast<std::size_t>(u)]);
         if (mu != 1) continue;  // 1 = frontier, 2 = settled
@@ -194,13 +196,13 @@ class DynamicGraphApp final : public App {
       co_await barrier_.wait(c, sense);
 
       if (id == 0 && dg_trace())
-        std::fprintf(stderr, "fw start @%llu\n", (unsigned long long)c.now());
+        obs::log::debugf("fw start @%llu", (unsigned long long)c.now());
       co_await propagate(c, sense, fw_, out_head64_, out_edges64_);
       if (id == 0 && dg_trace())
-        std::fprintf(stderr, "bw start @%llu\n", (unsigned long long)c.now());
+        obs::log::debugf("bw start @%llu", (unsigned long long)c.now());
       co_await propagate(c, sense, bw_, in_head64_, in_edges64_);
       if (id == 0 && dg_trace())
-        std::fprintf(stderr, "count start @%llu\n", (unsigned long long)c.now());
+        obs::log::debugf("count start @%llu", (unsigned long long)c.now());
 
       // Count |SCC| = |forward ∩ backward| with an atomic-add reduction
       // (a global lock here would thundering-herd 1000 cores per handoff).

@@ -38,6 +38,10 @@ Args parse_args(int argc, const char* const* argv) {
       a.help = true;
     } else if (arg == "--jobs" || arg.rfind("--jobs=", 0) == 0) {
       a.jobs = parse_positive_int("--jobs", value_of("--jobs", 6));
+    } else if (arg == "--obs-dir" || arg.rfind("--obs-dir=", 0) == 0) {
+      a.obs_dir = value_of("--obs-dir", 9);
+      if (a.obs_dir.empty())
+        throw std::invalid_argument("--obs-dir expects a directory path");
     } else if (arg == "--filter" || arg.rfind("--filter=", 0) == 0) {
       a.filters.push_back(value_of("--filter", 8));
     } else if (!arg.empty() && arg[0] == '-') {
@@ -52,7 +56,7 @@ Args parse_args(int argc, const char* const* argv) {
 const char* usage() {
   return
       "usage: atacsim-bench [--list] [--all] [--filter=<glob>] [<name>...]\n"
-      "                     [--jobs N]\n"
+      "                     [--jobs N] [--obs-dir=<path>]\n"
       "\n"
       "  --list           list every registered figure/table bench\n"
       "  --all            run every registered bench\n"
@@ -61,11 +65,16 @@ const char* usage() {
       "                   <name> argument is shorthand for an exact match\n"
       "  --jobs N         worker-pool size for scenario execution\n"
       "                   (default: ATACSIM_JOBS or all host cores)\n"
+      "  --obs-dir=<path> arm the telemetry layer: per-run epoch series\n"
+      "                   (JSON/CSV), Perfetto timeline traces and a host\n"
+      "                   self-profile are written under <path>\n"
       "\n"
       "environment: ATACSIM_SCALE (problem-size multiplier, > 0),\n"
       "  ATACSIM_BENCH_MESH=<mesh_width>x<cluster_width> (smoke-size the\n"
       "  machine, e.g. 8x2), ATACSIM_JOBS, ATACSIM_CACHE,\n"
-      "  ATACSIM_REPORT_DIR, ATACSIM_VALIDATE=1\n";
+      "  ATACSIM_REPORT_DIR, ATACSIM_VALIDATE=1,\n"
+      "  ATACSIM_OBS=1 / ATACSIM_OBS_DIR / ATACSIM_OBS_EPOCH (telemetry),\n"
+      "  ATACSIM_LOG=error|warn|info|debug (log level, default info)\n";
 }
 
 }  // namespace atacsim::bench

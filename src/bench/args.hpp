@@ -13,6 +13,10 @@ struct Args {
   bool all = false;    ///< --all: run every entry
   bool help = false;   ///< --help / -h
   int jobs = 0;        ///< --jobs N; 0 = exp::default_jobs()
+  /// --obs-dir=<path>: arm the telemetry layer (src/obs) and write its
+  /// artifacts (epoch series, Perfetto traces, self-profile) under <path>.
+  /// Empty = not passed; telemetry then follows the ATACSIM_OBS env vars.
+  std::string obs_dir;
   /// --filter=<glob> occurrences plus positional entry names.
   std::vector<std::string> filters;
 };

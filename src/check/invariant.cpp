@@ -25,6 +25,7 @@ const char* to_string(Probe p) {
     case Probe::kFlow: return "flow";
     case Probe::kEnergy: return "energy";
     case Probe::kClock: return "clock";
+    case Probe::kObs: return "obs";
   }
   return "?";
 }

@@ -21,12 +21,13 @@
 
 namespace atacsim::check {
 
-/// The four probe families of the validation layer.
+/// The probe families of the validation layer.
 enum class Probe {
   kCoherence,  ///< directory state vs cached copies (ACKwise_k / Dir_kB)
   kFlow,       ///< network flow conservation + channel busy-cycle bounds
   kEnergy,     ///< energy components finite, non-negative, summing to totals
   kClock,      ///< event dispatch timestamps monotone
+  kObs,        ///< telemetry epoch deltas must sum to end-of-run totals
 };
 
 const char* to_string(Probe p);

@@ -168,4 +168,31 @@ void check_energy_stats(const StatList& st, const std::string& context) {
                                st.get("energy_core_ndd"));
 }
 
+void check_epoch_totals(const NetCounters& sum_net,
+                        const NetCounters& final_net,
+                        const MemCounters& sum_mem,
+                        const MemCounters& final_mem,
+                        const CoreCounters& sum_core,
+                        const CoreCounters& final_core,
+                        const std::string& context) {
+  auto field = [&](const char* name, std::uint64_t sum, std::uint64_t fin) {
+    if (sum != fin)
+      raise(Probe::kObs, "epoch_series", 0, kInvalidCore,
+            context + ": epoch deltas of " + name + " sum to " +
+                std::to_string(sum) + " but the run total is " +
+                std::to_string(fin));
+  };
+  // The X-macro keeps this probe in lockstep with the counter structs: a
+  // field added there is compared here with no further edits.
+#define ATACSIM_X(f) field(#f, sum_net.f, final_net.f);
+  ATACSIM_NET_COUNTER_FIELDS(ATACSIM_X)
+#undef ATACSIM_X
+#define ATACSIM_X(f) field(#f, sum_mem.f, final_mem.f);
+  ATACSIM_MEM_COUNTER_FIELDS(ATACSIM_X)
+#undef ATACSIM_X
+#define ATACSIM_X(f) field(#f, sum_core.f, final_core.f);
+  ATACSIM_CORE_COUNTER_FIELDS(ATACSIM_X)
+#undef ATACSIM_X
+}
+
 }  // namespace atacsim::check

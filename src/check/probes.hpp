@@ -61,4 +61,14 @@ void check_energy(const power::EnergyBreakdown& e, const std::string& context);
 /// the sum of their exported components within 1e-6 (relative).
 void check_energy_stats(const StatList& st, const std::string& context);
 
+/// (d) Telemetry: the epoch series must tile the run — summing every
+/// per-epoch counter delta reproduces the end-of-run totals exactly, field
+/// by field. `sum_*` are the accumulated deltas, `final_*` the counters the
+/// run actually produced.
+void check_epoch_totals(const NetCounters& sum_net, const NetCounters& final_net,
+                        const MemCounters& sum_mem, const MemCounters& final_mem,
+                        const CoreCounters& sum_core,
+                        const CoreCounters& final_core,
+                        const std::string& context);
+
 }  // namespace atacsim::check

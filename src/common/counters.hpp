@@ -7,6 +7,48 @@
 
 #include "common/stats.hpp"
 
+// X-macro field lists: every plain uint64 counter field, in declaration
+// order. Consumers that must stay in lockstep with the structs (NetCounters
+// ::add, the obs epoch sampler's deltas, the check kObs probe) expand these
+// instead of hand-listing fields, so adding a counter cannot silently skip
+// a layer. The packet_latency Accumulator is intentionally not listed.
+#define ATACSIM_NET_COUNTER_FIELDS(X) \
+  X(enet_router_flits)                \
+  X(enet_link_flits)                  \
+  X(recvnet_link_flits)               \
+  X(hub_flits)                        \
+  X(onet_flits_sent)                  \
+  X(onet_flit_receptions)             \
+  X(onet_selects)                     \
+  X(laser_unicast_cycles)             \
+  X(laser_bcast_cycles)               \
+  X(unicast_packets)                  \
+  X(bcast_packets)                    \
+  X(flits_injected)                   \
+  X(recv_unicast_flits)               \
+  X(recv_bcast_flits)                 \
+  X(unicast_flits_offered)            \
+  X(bcast_flits_offered)
+
+#define ATACSIM_MEM_COUNTER_FIELDS(X) \
+  X(l1i_accesses)                     \
+  X(l1d_reads)                        \
+  X(l1d_writes)                       \
+  X(l2_reads)                         \
+  X(l2_writes)                        \
+  X(dir_reads)                        \
+  X(dir_writes)                       \
+  X(dram_reads)                       \
+  X(dram_writes)                      \
+  X(l1d_misses)                       \
+  X(l2_misses)                        \
+  X(invalidations_sent)               \
+  X(bcast_invalidations)
+
+#define ATACSIM_CORE_COUNTER_FIELDS(X) \
+  X(instructions)                      \
+  X(busy_cycles)
+
 namespace atacsim {
 
 /// Network activity counters, filled by whichever NetworkModel runs.
@@ -42,22 +84,9 @@ struct NetCounters {
   Accumulator packet_latency;  ///< injection -> (last) delivery, cycles
 
   void add(const NetCounters& o) {
-    enet_router_flits += o.enet_router_flits;
-    enet_link_flits += o.enet_link_flits;
-    recvnet_link_flits += o.recvnet_link_flits;
-    hub_flits += o.hub_flits;
-    onet_flits_sent += o.onet_flits_sent;
-    onet_flit_receptions += o.onet_flit_receptions;
-    onet_selects += o.onet_selects;
-    laser_unicast_cycles += o.laser_unicast_cycles;
-    laser_bcast_cycles += o.laser_bcast_cycles;
-    unicast_packets += o.unicast_packets;
-    bcast_packets += o.bcast_packets;
-    flits_injected += o.flits_injected;
-    recv_unicast_flits += o.recv_unicast_flits;
-    recv_bcast_flits += o.recv_bcast_flits;
-    unicast_flits_offered += o.unicast_flits_offered;
-    bcast_flits_offered += o.bcast_flits_offered;
+#define ATACSIM_X(f) f += o.f;
+    ATACSIM_NET_COUNTER_FIELDS(ATACSIM_X)
+#undef ATACSIM_X
   }
 };
 

@@ -2,13 +2,34 @@
 
 #include <algorithm>
 
+#include "obs/series.hpp"
+
 namespace atacsim::core {
 
-Program::Program(const MachineParams& mp)
-    : machine_(std::make_unique<sim::Machine>(mp)) {
+Program::Program(const MachineParams& mp, obs::RunObserver* obs)
+    : machine_(std::make_unique<sim::Machine>(mp, obs)) {
   ctxs_.reserve(static_cast<std::size_t>(mp.num_cores));
   for (CoreId c = 0; c < mp.num_cores; ++c)
     ctxs_.push_back(std::make_unique<CoreCtx>(*machine_, c));
+  if (obs) {
+    // The epoch sampler reads core activity through these callbacks at
+    // boundary time; `this` owns both the observer's data sources and the
+    // machine, so lifetimes line up by construction.
+    obs->set_core_sources(
+        [this] {
+          CoreCounters c;
+          for (const auto& ctx : ctxs_) {
+            c.instructions += ctx->instructions();
+            c.busy_cycles += ctx->busy_cycles();
+          }
+          return c;
+        },
+        [this](std::vector<std::uint64_t>& out) {
+          out.resize(ctxs_.size());
+          for (std::size_t i = 0; i < ctxs_.size(); ++i)
+            out[i] = ctxs_[i]->busy_cycles();
+        });
+  }
 }
 
 RootTask Program::root(CoreCtx& c, AppBody body) {

@@ -25,7 +25,10 @@ struct RunResult {
 
 class Program {
  public:
-  explicit Program(const MachineParams& mp);
+  /// `obs` (optional, not owned) arms telemetry on the underlying Machine
+  /// and registers the per-core busy/instruction samplers the epoch series
+  /// and timeline export read at boundary time.
+  explicit Program(const MachineParams& mp, obs::RunObserver* obs = nullptr);
 
   sim::Machine& machine() { return *machine_; }
   CoreCtx& ctx(CoreId c) { return *ctxs_[static_cast<std::size_t>(c)]; }

@@ -12,6 +12,9 @@
 #include <thread>
 
 #include "exp/singleflight.hpp"
+#include "obs/log.hpp"
+#include "obs/options.hpp"
+#include "obs/profile.hpp"
 #include "power/energy_model.hpp"
 
 namespace atacsim::exp {
@@ -35,7 +38,9 @@ std::atomic<std::uint64_t> g_simulations{0};
 RawResult run_raw_shared(const harness::Scenario& s) {
   return flight().run(harness::scenario_key(s), [&s] {
     RawResult r;
-    r.cache_hit = harness::try_load_cached(s, r.o);
+    // Obs-armed runs must simulate (telemetry only exists for executed
+    // runs); the result is still stored for later unarmed consumers.
+    r.cache_hit = !obs::options().enabled && harness::try_load_cached(s, r.o);
     if (!r.cache_hit) {
       g_simulations.fetch_add(1, std::memory_order_relaxed);
       r.o = harness::run_scenario(s, /*allow_failure=*/true);
@@ -105,7 +110,9 @@ PlanResult ExperimentPlan::run(const ExecOptions& opt) const {
   const bool tty = isatty(fileno(stderr)) != 0;
 
   auto progress = [&](std::size_t d) {
-    if (!opt.progress) return;
+    // Live progress is informational output: the leveled logger's threshold
+    // (ATACSIM_LOG) silences it together with the rest of info-level chatter.
+    if (!opt.progress || !obs::log::enabled(obs::log::Level::kInfo)) return;
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -117,10 +124,20 @@ PlanResult ExperimentPlan::run(const ExecOptions& opt) const {
     std::fflush(stderr);
   };
 
-  auto worker = [&] {
+  // Self-profiling (src/obs): per-worker busy time and pool statistics,
+  // recorded only when telemetry is armed. Host-time measurements stay in
+  // the quarantined profile document, never in outcomes or reports.
+  const bool prof = obs::options().enabled;
+  const int pool = std::max(1, std::min<int>(jobs, static_cast<int>(n)));
+  const std::uint64_t waits_before = flight().waits();
+  std::vector<double> worker_busy(static_cast<std::size_t>(pool), 0.0);
+  std::vector<std::uint64_t> worker_cells(static_cast<std::size_t>(pool), 0);
+
+  auto worker = [&](int w) {
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= n) return;
+      const auto c0 = std::chrono::steady_clock::now();
       try {
         bool hit = false;
         RawResult r = run_raw_shared(cells_[i].s);
@@ -130,17 +147,23 @@ PlanResult ExperimentPlan::run(const ExecOptions& opt) const {
       } catch (...) {
         errors[i] = std::current_exception();
       }
+      if (prof) {
+        worker_busy[static_cast<std::size_t>(w)] +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          c0)
+                .count();
+        ++worker_cells[static_cast<std::size_t>(w)];
+      }
       progress(done.fetch_add(1) + 1);
     }
   };
 
-  const int pool = std::max(1, std::min<int>(jobs, static_cast<int>(n)));
   if (pool <= 1 || n <= 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(pool));
-    for (int i = 0; i < pool; ++i) threads.emplace_back(worker);
+    for (int i = 0; i < pool; ++i) threads.emplace_back(worker, i);
     for (auto& t : threads) t.join();
   }
 
@@ -162,6 +185,15 @@ PlanResult ExperimentPlan::run(const ExecOptions& opt) const {
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+
+  if (prof) {
+    auto& sp = obs::SelfProfile::instance();
+    for (int w = 0; w < pool; ++w)
+      sp.add_worker(w, worker_busy[static_cast<std::size_t>(w)],
+                    worker_cells[static_cast<std::size_t>(w)]);
+    sp.add_pool(pool, n, result.cache_hits, result.simulations,
+                flight().waits() - waits_before, result.wall_seconds);
+  }
   return result;
 }
 

@@ -85,6 +85,9 @@ StatList outcome_stats(const harness::Outcome& o) {
   // derived
   st.add("edp", o.edp());
   st.add("bcast_recv_fraction", o.bcast_recv_fraction());
+  // telemetry summaries (empty unless the run executed with obs armed, so
+  // unarmed reports are byte-identical to pre-telemetry output)
+  st.add_all(o.obs_stats);
   if (check::env_validation_enabled())
     check::check_energy_stats(st, o.app + " on " + o.config);
   return st;

@@ -9,6 +9,8 @@
 // later requests.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -37,6 +39,7 @@ class SingleFlight {
         inflight_.emplace(key, flight);
       } else {
         flight = it->second;
+        waits_.fetch_add(1, std::memory_order_relaxed);
       }
     }
     if (leader) {
@@ -51,9 +54,16 @@ class SingleFlight {
     return flight.get();
   }
 
+  /// Callers that joined an in-progress flight instead of executing the
+  /// producer themselves, over the object's lifetime (telemetry).
+  std::uint64_t waits() const {
+    return waits_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::mutex mu_;
   std::unordered_map<std::string, std::shared_future<V>> inflight_;
+  std::atomic<std::uint64_t> waits_{0};
 };
 
 }  // namespace atacsim::exp

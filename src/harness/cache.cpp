@@ -9,6 +9,7 @@
 #include <map>
 #include <sstream>
 
+#include "obs/options.hpp"
 #include "power/energy_model.hpp"
 
 namespace atacsim::harness {
@@ -219,7 +220,10 @@ void store_cached(const Scenario& s, const Outcome& o) {
 
 Outcome run_scenario_cached(const Scenario& s, bool allow_failure) {
   Outcome o;
-  const bool loaded = try_load_cached(s, o);
+  // Telemetry artifacts (series, histograms, trace) only exist when the
+  // simulation actually executes, so an obs-armed run bypasses the cache
+  // LOAD — the fresh result is still stored for later unarmed runs.
+  const bool loaded = !obs::options().enabled && try_load_cached(s, o);
   if (!loaded) {
     o = run_scenario(s, allow_failure);
     store_cached(s, o);

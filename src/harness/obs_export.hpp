@@ -1,0 +1,20 @@
+// Telemetry artifact export for one scenario run: fills Outcome::obs_stats
+// with the latency-histogram summaries and writes the epoch series
+// (JSON + CSV) and the Chrome-trace/Perfetto timeline under the obs
+// artifact directory, keyed by the scenario's cache key (injective and
+// filename-safe, so artifacts from a sweep never collide).
+#pragma once
+
+#include "harness/runner.hpp"
+#include "obs/series.hpp"
+
+namespace atacsim::harness {
+
+/// Exports one finalized observer. With `validate` on, first runs the
+/// src/check kObs probe: the per-epoch deltas must sum to the run's final
+/// counters exactly. Artifact I/O failures are logged, not thrown — a full
+/// simulation result never dies on a telemetry write.
+void export_run_obs(const Scenario& s, Outcome& o, const obs::RunObserver& obs,
+                    bool validate);
+
+}  // namespace atacsim::harness

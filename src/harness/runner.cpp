@@ -1,9 +1,14 @@
 #include "harness/runner.hpp"
 
 #include <chrono>
+#include <memory>
 #include <stdexcept>
 
 #include "check/probes.hpp"
+#include "harness/obs_export.hpp"
+#include "obs/options.hpp"
+#include "obs/profile.hpp"
+#include "obs/series.hpp"
 
 namespace atacsim::harness {
 
@@ -62,19 +67,33 @@ Outcome run_scenario(const Scenario& s, bool allow_failure) {
   cfg.seed = s.seed;
   auto app = apps::make_app(s.app, cfg);
 
-  core::Program prog(s.mp);
+  // Telemetry is armed per process (obs::options); the observer lives for
+  // exactly this run and is threaded through Program/Machine as a guarded
+  // raw pointer.
+  std::unique_ptr<obs::RunObserver> observer;
+  if (obs::options().enabled)
+    observer = std::make_unique<obs::RunObserver>(obs::options().epoch_cycles);
+
+  core::Program prog(s.mp, observer.get());
   prog.spawn_all(app->body());
 
   const auto t0 = std::chrono::steady_clock::now();
   Outcome out;
   out.app = s.app;
   out.config = config_name(s.mp);
-  out.run = prog.run(s.max_cycles);
+  {
+    obs::PhaseTimer timer("simulate");
+    out.run = prog.run(s.max_cycles);
+    timer.set_events(prog.machine().events().dispatched());
+  }
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   out.finished = out.run.finished;
-  out.verify_msg = out.finished ? app->verify() : "did not complete";
+  {
+    obs::PhaseTimer timer("verify");
+    out.verify_msg = out.finished ? app->verify() : "did not complete";
+  }
 
   if (auto* atac = prog.machine().atac()) {
     out.swmr_utilization =
@@ -89,6 +108,9 @@ Outcome run_scenario(const Scenario& s, bool allow_failure) {
                  static_cast<double>(out.run.completion_cycles));
   if (prog.machine().validation())
     check::check_energy(out.energy, s.app + " on " + out.config);
+
+  if (observer)
+    export_run_obs(s, out, *observer, prog.machine().validation());
 
   if (!allow_failure && !out.verify_msg.empty())
     throw std::runtime_error(s.app + " on " + out.config + ": " +

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "apps/app.hpp"
+#include "common/stats.hpp"
 #include "core/program.hpp"
 #include "power/energy_model.hpp"
 
@@ -33,6 +34,11 @@ struct Outcome {
   double swmr_utilization = 0;
   std::uint64_t onet_unicasts = 0;
   std::uint64_t onet_bcasts = 0;
+
+  /// Telemetry summary stats (latency-histogram percentiles); empty unless
+  /// the run executed with obs armed, so reports stay byte-identical when
+  /// telemetry is off.
+  StatList obs_stats;
 
   double seconds() const;  ///< simulated completion time
   /// Energy-delay product over chip (network + caches), the paper's Fig. 8

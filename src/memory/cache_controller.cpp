@@ -1,8 +1,10 @@
 #include "memory/cache_controller.hpp"
 
 #include <cassert>
-#include <cstdio>
 #include <cstdlib>
+
+#include "obs/log.hpp"
+#include "obs/series.hpp"
 
 namespace {
 atacsim::Addr dbg_line() {
@@ -65,6 +67,9 @@ bool CacheController::fast_access(Addr addr, bool write) {
   write ? ++ctr.l1d_writes : ++ctr.l1d_reads;
   if (write) ++ctr.l2_writes;  // write-through
   l1d_.lookup(line);           // LRU bump
+  if (env_.obs)
+    env_.obs->record_mem(
+        write, static_cast<std::uint64_t>(env_.params->l1_hit_cycles));
   return true;
 }
 
@@ -82,6 +87,9 @@ void CacheController::access(Addr addr, bool write, DoneFn done) {
   if (l1 != LineState::kInvalid && l2_ok) {
     // Stores write through to the L2 (energy only).
     if (write) ++ctr.l2_writes;
+    if (env_.obs)
+      env_.obs->record_mem(
+          write, static_cast<std::uint64_t>(env_.params->l1_hit_cycles));
     env_.schedule(now + env_.params->l1_hit_cycles,
                   [done, t = now + env_.params->l1_hit_cycles] { done(t); });
     return;
@@ -93,6 +101,8 @@ void CacheController::access(Addr addr, bool write, DoneFn done) {
     // L2 hit: refill L1 (subset; silent L1 replacement is fine).
     l1d_.install(line, l2);
     const Cycle t = now + env_.params->l2_hit_cycles;
+    if (env_.obs)
+      env_.obs->record_mem(write, static_cast<std::uint64_t>(t - now));
     env_.schedule(t, [done, t] { done(t); });
     return;
   }
@@ -101,14 +111,14 @@ void CacheController::access(Addr addr, bool write, DoneFn done) {
   ++ctr.l2_misses;
   auto it = mshr_.find(line);
   if (it != mshr_.end()) {
-    it->second.waiters.push_back({write, std::move(done)});
+    it->second.waiters.push_back({write, std::move(done), now});
     // An in-flight ShReq cannot satisfy a store; the retry in fill() will
     // issue the upgrade once the shared copy lands.
     return;
   }
   Mshr& e = mshr_[line];
   e.want_exclusive = write || (l2 == LineState::kShared);
-  e.waiters.push_back({write, std::move(done)});
+  e.waiters.push_back({write, std::move(done), now});
   issue_request(line, e.want_exclusive);
 }
 
@@ -168,9 +178,10 @@ void CacheController::evict(Addr line, LineState state) {
 void CacheController::fill(const CohMsg& rep) {
   const Addr line = rep.line;
   if (dbg_line() && line == dbg_line())
-    std::fprintf(stderr, "[%llu] core%d fill type=%d seq=%u buffered=%zu\n",
-                 (unsigned long long)env_.now(), self_, (int)rep.type, rep.seq,
-                 mshr_.count(line) ? mshr_.at(line).buffered_bcast_invs.size() : 0ul);
+    obs::log::debugf(
+        "[%llu] core%d fill type=%d seq=%u buffered=%zu",
+        (unsigned long long)env_.now(), self_, (int)rep.type, rep.seq,
+        mshr_.count(line) ? mshr_.at(line).buffered_bcast_invs.size() : 0ul);
   const LineState st = (rep.type == CohType::kExRep) ? LineState::kModified
                                                      : LineState::kShared;
   auto node = mshr_.extract(line);
@@ -187,6 +198,9 @@ void CacheController::fill(const CohMsg& rep) {
     if (w.write && st != LineState::kModified) {
       retry.push_back(std::move(w));
     } else {
+      if (env_.obs)
+        env_.obs->record_mem(w.write,
+                             static_cast<std::uint64_t>(t - w.issued));
       env_.schedule(t, [done = std::move(w.done), t] { done(t); });
     }
   }
@@ -218,10 +232,10 @@ void CacheController::process_inv(const CohMsg& m, Cycle extra_delay,
   const Addr line = m.line;
   const LineState prev = l2_.peek(line);
   if (dbg_line() && line == dbg_line())
-    std::fprintf(stderr, "[%llu] core%d process_inv prev=%d bcast=%d extra=%llu sup=%d\n",
-                 (unsigned long long)env_.now(), self_, (int)prev,
-                 (int)m.is_broadcast(), (unsigned long long)extra_delay,
-                 (int)suppress_ack);
+    obs::log::debugf("[%llu] core%d process_inv prev=%d bcast=%d extra=%llu sup=%d",
+                     (unsigned long long)env_.now(), self_, (int)prev,
+                     (int)m.is_broadcast(), (unsigned long long)extra_delay,
+                     (int)suppress_ack);
   const bool present = prev != LineState::kInvalid;
 
   if (present) {
@@ -328,10 +342,11 @@ void CacheController::process_unicast_from_dir(const CohMsg& m) {
 
 void CacheController::handle(const CohMsg& m) {
   if (dbg_line() && m.line == dbg_line())
-    std::fprintf(stderr, "[%llu] core%d handle %s mshr=%d wantex=%d\n",
-                 (unsigned long long)env_.now(), self_, to_string(m.type),
-                 (int)mshr_.count(m.line),
-                 mshr_.count(m.line) ? (int)mshr_.at(m.line).want_exclusive : -1);
+    obs::log::debugf(
+        "[%llu] core%d handle %s mshr=%d wantex=%d",
+        (unsigned long long)env_.now(), self_, to_string(m.type),
+        (int)mshr_.count(m.line),
+        mshr_.count(m.line) ? (int)mshr_.at(m.line).want_exclusive : -1);
   if (m.type == CohType::kInvReq && m.is_broadcast()) {
     // Early-broadcast buffering: with an outstanding ShReq for this line the
     // broadcast may have overtaken our shared response (Sec. IV-C-1).

@@ -92,6 +92,11 @@ class CacheController {
   struct Waiter {
     bool write;
     DoneFn done;
+    /// Cycle the core issued the access; telemetry's memory-latency
+    /// histograms measure completion - issued. Write-upgrade retries keep
+    /// the original issue time so the histogram sees the end-to-end
+    /// latency, not just the upgrade leg.
+    Cycle issued = 0;
   };
   struct BufferedInv {
     CohMsg msg;

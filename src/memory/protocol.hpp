@@ -18,6 +18,10 @@
 #include "common/params.hpp"
 #include "common/types.hpp"
 
+namespace atacsim::obs {
+class RunObserver;
+}
+
 namespace atacsim::mem {
 
 enum class CohType : std::uint8_t {
@@ -62,6 +66,10 @@ struct CohMsg {
 struct MemEnv {
   const MachineParams* params = nullptr;
   MemCounters* counters = nullptr;
+
+  /// Telemetry (src/obs), not owned; null keeps the completion paths at a
+  /// single pointer test. Feeds the per-op-type memory latency histograms.
+  obs::RunObserver* obs = nullptr;
 
   /// Schedules `fn` to run at simulated cycle `t` (clamped to now).
   std::function<void(Cycle t, std::function<void()> fn)> schedule;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/series.hpp"
+
 namespace atacsim::net {
 
 AtacModel::AtacModel(const MachineParams& mp)
@@ -112,7 +114,7 @@ Cycle AtacModel::onet_unicast(Cycle t, CoreId src, CoreId dst, int flits,
 }
 
 Cycle AtacModel::onet_broadcast(Cycle t, CoreId src, int flits,
-                                const DeliveryFn& deliver) {
+                                const DeliveryFn& deliver, MsgClass cls) {
   const HubId sh = geom_.cluster_of(src);
   const CoreId hub_core = geom_.hub_core(sh);
 
@@ -152,17 +154,20 @@ Cycle AtacModel::onet_broadcast(Cycle t, CoreId src, int flits,
   counters_.recv_bcast_flits +=
       static_cast<std::uint64_t>(flits) * (geom_.num_cores() - 1);
   counters_.packet_latency.sample(static_cast<double>(latest - t));
+  if (obs_)
+    obs_->record_net(static_cast<int>(cls), /*bcast=*/true,
+                     static_cast<std::uint64_t>(latest - t));
   return sender_free;
 }
 
 Cycle AtacModel::inject(Cycle t, const NetPacket& p,
                         const DeliveryFn& deliver) {
   const int flits = flits_of(p);
-  if (p.is_broadcast()) return onet_broadcast(t, p.src, flits, deliver);
+  if (p.is_broadcast()) return onet_broadcast(t, p.src, flits, deliver, p.cls);
 
   if (!unicast_uses_onet(p.src, p.dst))
     return enet_.send_unicast(t, p.src, p.dst, flits, deliver,
-                              /*count_traffic=*/true);
+                              /*count_traffic=*/true, p.cls);
 
   Cycle tail = t;
   DeliveryFn track = [&](CoreId r, Cycle arr) {
@@ -179,6 +184,9 @@ Cycle AtacModel::inject(Cycle t, const NetPacket& p,
   counters_.unicast_flits_offered += flits;
   counters_.recv_unicast_flits += flits;
   counters_.packet_latency.sample(static_cast<double>(tail - t));
+  if (obs_)
+    obs_->record_net(static_cast<int>(p.cls), /*bcast=*/false,
+                     static_cast<std::uint64_t>(tail - t));
   return sender_free;
 }
 

@@ -29,6 +29,13 @@ class AtacModel : public NetworkModel {
 
   void append_channel_usage(std::vector<ChannelUsage>& out) const override;
 
+  /// The embedded ENet records distance-routed unicasts itself, so the
+  /// observer is forwarded there too.
+  void set_observer(obs::RunObserver* o) override {
+    NetworkModel::set_observer(o);
+    enet_.set_observer(o);
+  }
+
   const MeshGeom& geom() const { return geom_; }
   int flits_of(const NetPacket& p) const { return enet_.flits_of(p); }
 
@@ -46,7 +53,7 @@ class AtacModel : public NetworkModel {
   Cycle onet_unicast(Cycle t, CoreId src, CoreId dst, int flits,
                      const DeliveryFn& deliver);
   Cycle onet_broadcast(Cycle t, CoreId src, int flits,
-                       const DeliveryFn& deliver);
+                       const DeliveryFn& deliver, MsgClass cls);
 
   /// Forwards from a receiving hub into its cluster; returns tail-delivery
   /// cycle at `dst` (or the max across the cluster for broadcast).

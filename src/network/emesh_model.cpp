@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/series.hpp"
+
 namespace atacsim::net {
 
 EMeshModel::EMeshModel(const MachineParams& mp, bool hw_broadcast,
@@ -59,7 +61,8 @@ Cycle EMeshModel::deliver_at(CoreId dst, Cycle head_arrival, int flits,
 }
 
 Cycle EMeshModel::unicast(Cycle t, CoreId src, CoreId dst, int flits,
-                          const DeliveryFn& deliver, bool count_traffic) {
+                          const DeliveryFn& deliver, bool count_traffic,
+                          MsgClass cls) {
   const std::size_t inj = static_cast<std::size_t>(src) * kPorts + kInject;
   const Cycle start = links_[inj].acquire(t, static_cast<Cycle>(flits));
   const Cycle head = route_head(src, dst, start, flits);
@@ -70,12 +73,15 @@ Cycle EMeshModel::unicast(Cycle t, CoreId src, CoreId dst, int flits,
     sink().unicast_flits_offered += flits;
     sink().recv_unicast_flits += flits;
     sink().packet_latency.sample(static_cast<double>(tail - t));
+    if (obs_)
+      obs_->record_net(static_cast<int>(cls), /*bcast=*/false,
+                       static_cast<std::uint64_t>(tail - t));
   }
   return start + flits;  // sender injection port free
 }
 
 Cycle EMeshModel::bcast_tree(Cycle t, CoreId src, int flits,
-                             const DeliveryFn& deliver) {
+                             const DeliveryFn& deliver, MsgClass cls) {
   const std::size_t inj = static_cast<std::size_t>(src) * kPorts + kInject;
   const Cycle start = links_[inj].acquire(t, static_cast<Cycle>(flits));
 
@@ -139,6 +145,9 @@ Cycle EMeshModel::bcast_tree(Cycle t, CoreId src, int flits,
   sink().recv_bcast_flits +=
       static_cast<std::uint64_t>(flits) * (geom_.num_cores() - 1);
   sink().packet_latency.sample(static_cast<double>(latest - t));
+  if (obs_)
+    obs_->record_net(static_cast<int>(cls), /*bcast=*/true,
+                     static_cast<std::uint64_t>(latest - t));
   return start + flits;
 }
 
@@ -146,9 +155,10 @@ Cycle EMeshModel::inject(Cycle t, const NetPacket& p,
                          const DeliveryFn& deliver) {
   const int flits = flits_of(p);
   if (!p.is_broadcast())
-    return unicast(t, p.src, p.dst, flits, deliver, /*count_traffic=*/true);
+    return unicast(t, p.src, p.dst, flits, deliver, /*count_traffic=*/true,
+                   p.cls);
 
-  if (hw_broadcast_) return bcast_tree(t, p.src, flits, deliver);
+  if (hw_broadcast_) return bcast_tree(t, p.src, flits, deliver, p.cls);
 
   // EMesh-Pure: a broadcast degrades into N-1 unicasts serialized through
   // the source injection port (Sec. V-B).
@@ -161,7 +171,7 @@ Cycle EMeshModel::inject(Cycle t, const NetPacket& p,
       deliver(r, arr);
     };
     sender_free = unicast(sender_free, p.src, dst, flits, track,
-                          /*count_traffic=*/false);
+                          /*count_traffic=*/false, p.cls);
   }
   ++sink().bcast_packets;
   sink().flits_injected +=
@@ -170,6 +180,9 @@ Cycle EMeshModel::inject(Cycle t, const NetPacket& p,
   sink().recv_bcast_flits +=
       static_cast<std::uint64_t>(flits) * (geom_.num_cores() - 1);
   sink().packet_latency.sample(static_cast<double>(latest - t));
+  if (obs_)
+    obs_->record_net(static_cast<int>(p.cls), /*bcast=*/true,
+                     static_cast<std::uint64_t>(latest - t));
   return sender_free;
 }
 

@@ -33,9 +33,12 @@ class EMeshModel : public NetworkModel {
 
   /// Unicast entry point for composite networks. When `count_traffic` is
   /// false only flit-hop activity is recorded, not packet-level stats.
+  /// `cls` only labels the telemetry latency histogram (when an observer is
+  /// attached and count_traffic is true); it never affects timing.
   Cycle send_unicast(Cycle t, CoreId src, CoreId dst, int flits,
-                     const DeliveryFn& deliver, bool count_traffic) {
-    return unicast(t, src, dst, flits, deliver, count_traffic);
+                     const DeliveryFn& deliver, bool count_traffic,
+                     MsgClass cls = MsgClass::kSynthetic) {
+    return unicast(t, src, dst, flits, deliver, count_traffic, cls);
   }
 
  private:
@@ -52,9 +55,10 @@ class EMeshModel : public NetworkModel {
                    const DeliveryFn& deliver);
 
   Cycle unicast(Cycle t, CoreId src, CoreId dst, int flits,
-                const DeliveryFn& deliver, bool count_traffic);
+                const DeliveryFn& deliver, bool count_traffic, MsgClass cls);
 
-  Cycle bcast_tree(Cycle t, CoreId src, int flits, const DeliveryFn& deliver);
+  Cycle bcast_tree(Cycle t, CoreId src, int flits, const DeliveryFn& deliver,
+                   MsgClass cls);
 
   MachineParams mp_;
   MeshGeom geom_;

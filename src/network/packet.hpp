@@ -8,6 +8,10 @@
 #include "common/counters.hpp"
 #include "common/types.hpp"
 
+namespace atacsim::obs {
+class RunObserver;
+}
+
 namespace atacsim::net {
 
 enum class MsgClass : std::uint8_t {
@@ -58,8 +62,14 @@ class NetworkModel {
   /// (validation-layer introspection; the base model owns none).
   virtual void append_channel_usage(std::vector<ChannelUsage>&) const {}
 
+  /// Telemetry (src/obs), not owned; null (the default) keeps the latency
+  /// recording sites at a single pointer test. Composite models override to
+  /// forward the observer into their sub-networks.
+  virtual void set_observer(obs::RunObserver* o) { obs_ = o; }
+
  protected:
   NetCounters counters_;
+  obs::RunObserver* obs_ = nullptr;
 };
 
 }  // namespace atacsim::net

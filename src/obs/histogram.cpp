@@ -1,0 +1,34 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atacsim::obs {
+
+std::uint64_t Histogram::percentile(double p) const {
+  if (n_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank definition: the smallest value v such that at least
+  // ceil(p/100 * n) samples are <= v. Rank is clamped to [1, n] so p=0
+  // returns the minimum and p=100 the maximum.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n_)));
+  rank = std::clamp<std::uint64_t>(rank, 1, n_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    cum += counts_[i];
+    if (cum >= rank) return std::min(bucket_upper(i), max_);
+  }
+  return max_;  // unreachable when counts are consistent with n_
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.n_ == 0) return;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+  if (n_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  n_ += other.n_;
+  sum_ += other.sum_;
+}
+
+}  // namespace atacsim::obs

@@ -1,0 +1,28 @@
+// atacsim-obs-check: validates obs artifacts (epoch series, trace-event
+// timelines, self-profiles) against their schemas. Exit 0 when every file
+// is valid, 1 otherwise. CI runs this over the artifacts a smoke bench
+// emits under ATACSIM_OBS=1.
+//
+//   atacsim-obs-check <file.json> [<file.json> ...]
+#include <cstdio>
+
+#include "obs/validate.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: atacsim-obs-check <file.json> [<file.json> ...]\n");
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string err = atacsim::obs::validate_file(argv[i]);
+    if (err.empty()) {
+      std::printf("ok: %s\n", argv[i]);
+    } else {
+      std::fprintf(stderr, "FAIL: %s\n", err.c_str());
+      ++failures;
+    }
+  }
+  return failures ? 1 : 0;
+}

@@ -1,0 +1,36 @@
+// Process-wide arming of the telemetry layer.
+//
+// Everything in src/obs is off by default; a run is armed either from the
+// environment (ATACSIM_OBS=1, ATACSIM_OBS_DIR, ATACSIM_OBS_EPOCH) or
+// programmatically (the bench driver's --obs-dir flag, tests). When off,
+// no observer is ever constructed, so the simulation hot paths only pay a
+// null-pointer test.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace atacsim::obs {
+
+struct Options {
+  bool enabled = false;
+  /// Artifact directory for series/trace/profile files.
+  std::string dir;
+  /// Simulated-cycle sampling period of the epoch series.
+  Cycle epoch_cycles = 10000;
+};
+
+/// The active options. First call reads the environment:
+///   ATACSIM_OBS      armed when set and not "0"
+///   ATACSIM_OBS_DIR  artifact directory (default: <report dir>/obs, i.e.
+///                    $ATACSIM_REPORT_DIR/obs or bench_reports/obs)
+///   ATACSIM_OBS_EPOCH  sampling period in simulated cycles (default 10000)
+const Options& options();
+
+/// Programmatic override; wins over the environment from then on. Call
+/// before spawning exp workers — the snapshot is not locked against
+/// concurrent readers.
+void set_options(const Options& o);
+
+}  // namespace atacsim::obs

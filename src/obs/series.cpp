@@ -1,0 +1,256 @@
+#include "obs/series.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+
+namespace atacsim::obs {
+
+namespace {
+
+// Field-wise delta helpers over the counter X-macro lists.
+NetCounters delta(const NetCounters& cur, const NetCounters& prev) {
+  NetCounters d;
+#define ATACSIM_X(f) d.f = cur.f - prev.f;
+  ATACSIM_NET_COUNTER_FIELDS(ATACSIM_X)
+#undef ATACSIM_X
+  return d;
+}
+
+MemCounters delta(const MemCounters& cur, const MemCounters& prev) {
+  MemCounters d;
+#define ATACSIM_X(f) d.f = cur.f - prev.f;
+  ATACSIM_MEM_COUNTER_FIELDS(ATACSIM_X)
+#undef ATACSIM_X
+  return d;
+}
+
+CoreCounters delta(const CoreCounters& cur, const CoreCounters& prev) {
+  CoreCounters d;
+#define ATACSIM_X(f) d.f = cur.f - prev.f;
+  ATACSIM_CORE_COUNTER_FIELDS(ATACSIM_X)
+#undef ATACSIM_X
+  return d;
+}
+
+bool all_zero(const NetCounters& n, const MemCounters& m,
+              const CoreCounters& c, const std::vector<Cycle>& chan,
+              const std::vector<std::uint64_t>& core_busy) {
+  std::uint64_t acc = 0;
+#define ATACSIM_X(f) acc |= n.f;
+  ATACSIM_NET_COUNTER_FIELDS(ATACSIM_X)
+#undef ATACSIM_X
+#define ATACSIM_X(f) acc |= m.f;
+  ATACSIM_MEM_COUNTER_FIELDS(ATACSIM_X)
+#undef ATACSIM_X
+#define ATACSIM_X(f) acc |= c.f;
+  ATACSIM_CORE_COUNTER_FIELDS(ATACSIM_X)
+#undef ATACSIM_X
+  for (const Cycle v : chan) acc |= v;
+  for (const std::uint64_t v : core_busy) acc |= v;
+  return acc == 0;
+}
+
+/// %.17g round-trips doubles; JSON has no Inf/NaN, guard as null.
+std::string num(double v) {
+  if (v != v || v == std::numeric_limits<double>::infinity() ||
+      v == -std::numeric_limits<double>::infinity())
+    return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* traffic_class_name(int cls) {
+  switch (cls) {
+    case 0: return "coh";
+    case 1: return "data";
+    case 2: return "synth";
+  }
+  return "?";
+}
+
+RunObserver::RunObserver(Cycle epoch_cycles)
+    : epoch_cycles_(epoch_cycles ? epoch_cycles : 1) {}
+
+void RunObserver::set_channel_names(std::vector<std::string> names) {
+  channel_names_ = std::move(names);
+  last_chan_busy_.assign(channel_names_.size(), 0);
+}
+
+void RunObserver::set_core_sources(
+    std::function<CoreCounters()> totals,
+    std::function<void(std::vector<std::uint64_t>&)> per_core) {
+  core_totals_ = std::move(totals);
+  per_core_busy_ = std::move(per_core);
+  if (per_core_busy_) {
+    per_core_busy_(scratch_core_busy_);
+    last_core_busy_.assign(scratch_core_busy_.size(), 0);
+  }
+}
+
+void RunObserver::push_record(Cycle t_end, const NetCounters& net,
+                              const MemCounters& mem,
+                              const std::vector<Cycle>& chan_busy) {
+  EpochRecord rec;
+  rec.t_end = t_end;
+  rec.net = delta(net, last_net_);
+  rec.mem = delta(mem, last_mem_);
+
+  CoreCounters core_now = last_core_;
+  if (core_totals_) core_now = core_totals_();
+  rec.core = delta(core_now, last_core_);
+
+  rec.chan_busy.resize(last_chan_busy_.size(), 0);
+  for (std::size_t i = 0; i < last_chan_busy_.size() && i < chan_busy.size();
+       ++i)
+    rec.chan_busy[i] = chan_busy[i] - last_chan_busy_[i];
+
+  if (per_core_busy_) {
+    per_core_busy_(scratch_core_busy_);
+    rec.core_busy.resize(last_core_busy_.size(), 0);
+    for (std::size_t i = 0; i < last_core_busy_.size(); ++i)
+      rec.core_busy[i] = scratch_core_busy_[i] - last_core_busy_[i];
+    last_core_busy_ = scratch_core_busy_;
+  }
+
+  // A flush at (or behind) the previous boundary with fresh activity —
+  // events executing exactly at the final sampled cycle — merges into the
+  // last record so t_end stays strictly increasing across the series.
+  if (!epochs_.empty() && t_end <= epochs_.back().t_end) {
+    if (all_zero(rec.net, rec.mem, rec.core, rec.chan_busy, rec.core_busy))
+      return;
+    EpochRecord& back = epochs_.back();
+    back.net.add(rec.net);
+#define ATACSIM_X(f) back.mem.f += rec.mem.f;
+    ATACSIM_MEM_COUNTER_FIELDS(ATACSIM_X)
+#undef ATACSIM_X
+#define ATACSIM_X(f) back.core.f += rec.core.f;
+    ATACSIM_CORE_COUNTER_FIELDS(ATACSIM_X)
+#undef ATACSIM_X
+    for (std::size_t i = 0; i < back.chan_busy.size(); ++i)
+      back.chan_busy[i] += rec.chan_busy[i];
+    for (std::size_t i = 0; i < back.core_busy.size(); ++i)
+      back.core_busy[i] += rec.core_busy[i];
+  } else {
+    epochs_.push_back(std::move(rec));
+  }
+
+  last_net_ = net;
+  last_mem_ = mem;
+  if (core_totals_) last_core_ = core_now;
+  last_chan_busy_.assign(chan_busy.begin(), chan_busy.end());
+  last_chan_busy_.resize(channel_names_.size(), 0);
+  if (t_end > last_t_) last_t_ = t_end;
+}
+
+void RunObserver::sample(Cycle boundary, const NetCounters& net,
+                         const MemCounters& mem,
+                         const std::vector<Cycle>& chan_busy) {
+  if (finalized_) return;
+  push_record(boundary, net, mem, chan_busy);
+}
+
+void RunObserver::finalize(Cycle end, const NetCounters& net,
+                           const MemCounters& mem,
+                           const std::vector<Cycle>& chan_busy) {
+  if (finalized_) return;
+  push_record(end, net, mem, chan_busy);
+  finalized_ = true;
+}
+
+void RunObserver::totals(NetCounters& net, MemCounters& mem,
+                         CoreCounters& core) const {
+  net = {};
+  mem = {};
+  core = {};
+  for (const EpochRecord& e : epochs_) {
+    net.add(e.net);
+#define ATACSIM_X(f) mem.f += e.mem.f;
+    ATACSIM_MEM_COUNTER_FIELDS(ATACSIM_X)
+#undef ATACSIM_X
+#define ATACSIM_X(f) core.f += e.core.f;
+    ATACSIM_CORE_COUNTER_FIELDS(ATACSIM_X)
+#undef ATACSIM_X
+  }
+}
+
+std::vector<double>& SeriesDoc::add_column(std::string name_) {
+  columns.push_back(std::move(name_));
+  data.emplace_back();
+  return data.back();
+}
+
+void write_series_json(std::ostream& os, const SeriesDoc& doc) {
+  os << "{\n"
+     << "  \"schema\": \"atacsim-obs-series-v1\",\n"
+     << "  \"name\": \"" << escape(doc.name) << "\",\n"
+     << "  \"meta\": {";
+  bool first = true;
+  for (const auto& [k, v] : doc.meta_str) {
+    os << (first ? "" : ", ") << "\"" << escape(k) << "\": \"" << escape(v)
+       << "\"";
+    first = false;
+  }
+  for (const auto& [k, v] : doc.meta_num) {
+    os << (first ? "" : ", ") << "\"" << escape(k) << "\": " << num(v);
+    first = false;
+  }
+  os << "},\n"
+     << "  \"epochs\": " << doc.epochs() << ",\n"
+     << "  \"columns\": [";
+  for (std::size_t i = 0; i < doc.columns.size(); ++i)
+    os << (i ? ", " : "") << "\"" << escape(doc.columns[i]) << "\"";
+  os << "],\n"
+     << "  \"data\": {";
+  for (std::size_t i = 0; i < doc.columns.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ") << "\"" << escape(doc.columns[i])
+       << "\": [";
+    const auto& col = doc.data[i];
+    for (std::size_t j = 0; j < col.size(); ++j)
+      os << (j ? ", " : "") << num(col[j]);
+    os << "]";
+  }
+  os << "\n  }\n}\n";
+}
+
+void write_series_csv(std::ostream& os, const SeriesDoc& doc) {
+  for (std::size_t i = 0; i < doc.columns.size(); ++i)
+    os << (i ? "," : "") << doc.columns[i];
+  os << '\n';
+  const std::size_t rows = doc.epochs();
+  for (std::size_t j = 0; j < rows; ++j) {
+    for (std::size_t i = 0; i < doc.data.size(); ++i)
+      os << (i ? "," : "")
+         << num(j < doc.data[i].size() ? doc.data[i][j] : 0.0);
+    os << '\n';
+  }
+}
+
+}  // namespace atacsim::obs

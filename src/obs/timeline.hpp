@@ -1,0 +1,21 @@
+// Chrome trace-event export of a simulated run, loadable in ui.perfetto.dev
+// (Trace Viewer JSON: {"traceEvents": [...]}, timestamps in simulated
+// cycles used as microseconds).
+//
+// The export is epoch-granular, built entirely from the RunObserver's
+// records: per-core "run"/"stall" complete spans (pid 0, one tid per core)
+// and counter tracks for broadcast packets, directory transactions and
+// injected flits (pid 1). Deterministic — no host time appears anywhere.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace atacsim::obs {
+
+class RunObserver;
+
+void write_trace_json(std::ostream& os, const RunObserver& ob,
+                      const std::string& name);
+
+}  // namespace atacsim::obs

@@ -21,6 +21,23 @@ class EventQueue {
  public:
   using Fn = std::function<void()>;
 
+  /// Telemetry sampling hook (src/obs): `fire(boundary)` runs once per
+  /// multiple of `period` the clock crosses, before the first event at or
+  /// past that boundary dispatches, with now() set to the boundary itself.
+  /// The hot path pays one null test when no hook is installed; `next_due`
+  /// is cached here so the common armed case is a single compare too.
+  struct EpochHook {
+    Cycle period = 0;
+    Cycle next_due = kNeverCycle;
+    std::function<void(Cycle boundary)> fire;
+  };
+
+  void set_epoch_hook(EpochHook* h) { hook_ = h; }
+
+  /// Events dispatched so far (unconditional counter; feeds the obs
+  /// self-profile's events/sec).
+  std::uint64_t dispatched() const { return dispatched_; }
+
   void schedule(Cycle t, Fn fn) {
     if (t < now_) t = now_;  // never schedule into the past
     heap_.push(Item{t, seq_++, std::move(fn)});
@@ -80,15 +97,32 @@ class EventQueue {
       check::raise(check::Probe::kClock, "event_queue", now_, kInvalidCore,
                    "dispatch timestamp " + std::to_string(top.t) +
                        " behind clock " + std::to_string(now_));
+    if (hook_ && top.t >= hook_->next_due) cross_epochs(top.t);
     now_ = top.t;
+    ++dispatched_;
     Fn fn = std::move(const_cast<Item&>(top).fn);
     heap_.pop();
     fn();
   }
 
+  /// Cold path: fires the hook for every epoch boundary in (now_, t], with
+  /// the clock parked on each boundary so anything the hook reads is
+  /// consistent with "sampled exactly at the boundary". Boundaries never
+  /// exceed t, so clock monotonicity is preserved.
+  void cross_epochs(Cycle t) {
+    while (hook_->next_due <= t) {
+      const Cycle boundary = hook_->next_due;
+      hook_->next_due += hook_->period;
+      if (boundary > now_) now_ = boundary;
+      hook_->fire(boundary);
+    }
+  }
+
   std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
   Cycle now_ = 0;
   std::uint64_t seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  EpochHook* hook_ = nullptr;
   bool validate_ = check::env_validation_enabled();
 };
 

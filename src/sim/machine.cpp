@@ -1,10 +1,12 @@
 #include "sim/machine.hpp"
 
 #include <cassert>
-#include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "check/probes.hpp"
+#include "obs/log.hpp"
+#include "obs/series.hpp"
 
 namespace {
 atacsim::Addr trace_line() {
@@ -38,6 +40,7 @@ mem::MemEnv Machine::make_env() {
   mem::MemEnv env;
   env.params = &mp_;
   env.counters = &mem_counters_;
+  env.obs = obs_;
   env.schedule = [this](Cycle t, std::function<void()> fn) {
     events_.schedule(t, std::move(fn));
   };
@@ -51,9 +54,10 @@ mem::MemEnv Machine::make_env() {
   return env;
 }
 
-Machine::Machine(const MachineParams& mp)
+Machine::Machine(const MachineParams& mp, obs::RunObserver* obs)
     : mp_(mp),
       geom_(mp),
+      obs_(obs),
       net_(net::make_network(mp)),
       homes_(mp, slice_cores(mp)) {
   mp_.validate();
@@ -65,15 +69,46 @@ Machine::Machine(const MachineParams& mp)
   for (HubId h = 0; h < geom_.num_clusters(); ++h)
     dirs_.push_back(std::make_unique<mem::DirectorySlice>(
         h, geom_.hub_core(h), make_env()));
+  if (obs_) {
+    net_->set_observer(obs_);
+    std::vector<net::ChannelUsage> usage;
+    net_->append_channel_usage(usage);
+    std::vector<std::string> names;
+    names.reserve(usage.size());
+    for (const auto& u : usage) names.emplace_back(u.name);
+    obs_->set_channel_names(std::move(names));
+    obs_hook_.period = obs_->epoch_cycles();
+    obs_hook_.next_due = obs_->epoch_cycles();
+    obs_hook_.fire = [this](Cycle boundary) { sample_obs(boundary); };
+    events_.set_epoch_hook(&obs_hook_);
+  }
+}
+
+void Machine::sample_obs(Cycle boundary) {
+  std::vector<net::ChannelUsage> usage;
+  net_->append_channel_usage(usage);
+  std::vector<Cycle> busy;
+  busy.reserve(usage.size());
+  for (const auto& u : usage) busy.push_back(u.busy_cycles);
+  obs_->sample(boundary, net_->counters(), mem_counters_, busy);
+}
+
+void Machine::finalize_obs() {
+  std::vector<net::ChannelUsage> usage;
+  net_->append_channel_usage(usage);
+  std::vector<Cycle> busy;
+  busy.reserve(usage.size());
+  for (const auto& u : usage) busy.push_back(u.busy_cycles);
+  obs_->finalize(events_.now(), net_->counters(), mem_counters_, busy);
 }
 
 void Machine::deliver(CoreId receiver, const mem::CohMsg& m, Cycle at) {
   if ((trace_line() && m.line == trace_line()) ||
       (trace_inv() &&
        (m.type == mem::CohType::kInvReq || m.type == mem::CohType::kInvAck))) {
-    std::fprintf(stderr, "[%llu] DLVR %s line=%llx ->core%d (from %d) seq=%u\n",
-                 (unsigned long long)at, mem::to_string(m.type),
-                 (unsigned long long)m.line, receiver, m.src, m.seq);
+    obs::log::debugf("[%llu] DLVR %s line=%llx ->core%d (from %d) seq=%u",
+                     (unsigned long long)at, mem::to_string(m.type),
+                     (unsigned long long)m.line, receiver, m.src, m.seq);
   }
   ++observed_deliveries_;
   events_.schedule(at, [this, receiver, m] {
@@ -99,10 +134,10 @@ void Machine::deliver(CoreId receiver, const mem::CohMsg& m, Cycle at) {
 Cycle Machine::send_msg(Cycle t, const mem::CohMsg& m) {
   if ((trace_line() && m.line == trace_line()) ||
       (trace_inv() && m.type == mem::CohType::kInvReq)) {
-    std::fprintf(stderr, "[%llu] SEND %s line=%llx %d->%d req=%d seq=%u data=%d\n",
-                 (unsigned long long)t, mem::to_string(m.type),
-                 (unsigned long long)m.line, m.src, m.dst, m.requester, m.seq,
-                 (int)m.carries_data);
+    obs::log::debugf("[%llu] SEND %s line=%llx %d->%d req=%d seq=%u data=%d",
+                     (unsigned long long)t, mem::to_string(m.type),
+                     (unsigned long long)m.line, m.src, m.dst, m.requester,
+                     m.seq, (int)m.carries_data);
   }
   expected_deliveries_ +=
       m.is_broadcast() ? static_cast<std::uint64_t>(mp_.num_cores) : 1;

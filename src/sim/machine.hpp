@@ -17,11 +17,19 @@
 #include "network/atac_model.hpp"
 #include "sim/event_queue.hpp"
 
+namespace atacsim::obs {
+class RunObserver;
+}
+
 namespace atacsim::sim {
 
 class Machine {
  public:
-  explicit Machine(const MachineParams& mp);
+  /// `obs` (optional, not owned, must outlive the machine) arms telemetry:
+  /// epoch-boundary counter sampling via the event queue's hook plus
+  /// latency recording in the network and memory layers. Null keeps every
+  /// hot path at a single pointer test.
+  explicit Machine(const MachineParams& mp, obs::RunObserver* obs = nullptr);
 
   EventQueue& events() { return events_; }
   const MachineParams& params() const { return mp_; }
@@ -47,8 +55,11 @@ class Machine {
   /// Drains the event queue; returns false if the safety cycle limit hit.
   /// Once drained with validation on, runs the end-of-run probes (flow
   /// conservation, channel ledger bounds, message delivery accounting).
+  /// With an observer attached, the final partial telemetry epoch is
+  /// flushed either way (drained or safety stop).
   bool run(Cycle max_cycles = kNeverCycle) {
     const bool drained = events_.run(max_cycles);
+    if (obs_) finalize_obs();
     if (drained && validate_) validate_run();
     return drained;
   }
@@ -101,8 +112,14 @@ class Machine {
   /// End-of-run probes, fired when run() drains with validation on.
   void validate_run();
 
+  /// Telemetry: snapshot counters + channel busy cycles into the observer.
+  void sample_obs(Cycle boundary);
+  void finalize_obs();
+
   MachineParams mp_;
   net::MeshGeom geom_;
+  obs::RunObserver* obs_ = nullptr;
+  EventQueue::EpochHook obs_hook_;
   EventQueue events_;
   MemCounters mem_counters_;
   std::unique_ptr<net::NetworkModel> net_;

@@ -9,6 +9,7 @@
 // execution-driven result (`abl_trace_vs_execution`).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -55,9 +56,18 @@ class TraceRecorder {
   void record(CoreId core, Addr addr, bool write, Cycle local_now) {
     auto& v = trace_.per_core[static_cast<std::size_t>(core)];
     auto& last = last_issue_[static_cast<std::size_t>(core)];
-    const std::uint64_t gap = local_now - std::min<Cycle>(local_now, last);
-    v.push_back({addr, static_cast<std::uint32_t>(std::min<std::uint64_t>(
-                           gap, 0xFFFFFFFFull)),
+    // Lax synchronization lets a core's local clock be pulled backwards at
+    // a sync point, so `local_now` may precede the previously recorded
+    // issue. Saturate the gap at zero (not `local_now - last`, which would
+    // wrap to ~2^64 and then be clamped to the 32-bit max — a bogus 4.3e9
+    // cycle stall in the replay).
+    const std::uint64_t gap =
+        local_now < last ? 0 : static_cast<std::uint64_t>(local_now - last);
+    // Gaps longer than 2^32-1 cycles saturate at the field width; replay
+    // treats that as "very long compute", which is all the trace needs.
+    v.push_back({addr,
+                 static_cast<std::uint32_t>(
+                     std::min<std::uint64_t>(gap, 0xFFFFFFFFull)),
                  write});
     last = local_now;
   }

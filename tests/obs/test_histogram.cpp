@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace atacsim::obs {
+namespace {
+
+TEST(Histogram, EmptyReportsZeros) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min_value(), 0u);
+  EXPECT_EQ(h.max_value(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0u);
+  EXPECT_EQ(h.percentile(100), 0u);
+}
+
+TEST(Histogram, SmallNPercentilesAreExactNearestRank) {
+  // All values below 2^kSubBits land in exact buckets, so nearest-rank
+  // percentiles over a small sample are exact, not approximate.
+  Histogram h;
+  for (const std::uint64_t v : {10, 20, 30, 40}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+  EXPECT_EQ(h.min_value(), 10u);
+  EXPECT_EQ(h.max_value(), 40u);
+  // rank = ceil(p/100 * 4), clamped to [1, 4].
+  EXPECT_EQ(h.percentile(0), 10u);     // rank clamps to 1 -> minimum
+  EXPECT_EQ(h.percentile(25), 10u);    // rank 1
+  EXPECT_EQ(h.percentile(50), 20u);    // rank 2
+  EXPECT_EQ(h.percentile(75), 30u);    // rank 3
+  EXPECT_EQ(h.percentile(99), 40u);    // rank 4
+  EXPECT_EQ(h.percentile(100), 40u);   // rank 4 -> maximum
+}
+
+TEST(Histogram, SingleSampleIsExactAtEveryPercentile) {
+  // The max-clamp makes every percentile of a singleton exact even when the
+  // value is deep in a wide log bucket.
+  for (const std::uint64_t v :
+       {0ull, 31ull, 32ull, 1000ull, (1ull << 40) + 12345ull}) {
+    Histogram h;
+    h.record(v);
+    EXPECT_EQ(h.percentile(0), v);
+    EXPECT_EQ(h.percentile(50), v);
+    EXPECT_EQ(h.percentile(99.99), v);
+  }
+}
+
+TEST(Histogram, ValuesBelowSubBucketRangeMapExactly) {
+  for (std::uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(Histogram::bucket_of(v), static_cast<std::size_t>(v));
+    EXPECT_EQ(Histogram::bucket_upper(static_cast<std::size_t>(v)), v);
+  }
+}
+
+TEST(Histogram, BucketBoundariesAtPowersOfTwo) {
+  // A power of two starts a new octave: 2^k-1 and 2^k must land in
+  // different buckets, and 2^k must be its bucket's lower edge.
+  for (int k = Histogram::kSubBits; k < 64; ++k) {
+    const std::uint64_t p = 1ull << k;
+    EXPECT_NE(Histogram::bucket_of(p - 1), Histogram::bucket_of(p)) << k;
+    EXPECT_EQ(Histogram::bucket_of(p - 1) + 1, Histogram::bucket_of(p)) << k;
+  }
+}
+
+TEST(Histogram, BucketUpperIsTheInverseOfBucketOf) {
+  // For every bucket: its upper bound maps back to it, and upper+1 starts
+  // the next bucket (the layout tiles uint64 with no gaps or overlaps).
+  for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    const std::uint64_t upper = Histogram::bucket_upper(i);
+    EXPECT_EQ(Histogram::bucket_of(upper), i) << "bucket " << i;
+    if (upper != ~0ull) {
+      EXPECT_EQ(Histogram::bucket_of(upper + 1), i + 1) << "bucket " << i;
+    }
+  }
+  // The top bucket must absorb everything up to UINT64_MAX.
+  EXPECT_EQ(Histogram::bucket_upper(Histogram::kNumBuckets - 1), ~0ull);
+}
+
+TEST(Histogram, QuantizationErrorBoundedBySubBucketWidth) {
+  // bucket_upper(bucket_of(v)) overestimates v by at most v / 2^kSubBits.
+  for (const std::uint64_t v : {33ull, 100ull, 1000ull, 12345ull,
+                                (1ull << 20) + 7ull, (1ull << 40) + 999ull,
+                                (1ull << 63) + 1ull}) {
+    const std::uint64_t upper = Histogram::bucket_upper(Histogram::bucket_of(v));
+    EXPECT_GE(upper, v);
+    EXPECT_LE(upper - v, v >> Histogram::kSubBits) << v;
+  }
+}
+
+TEST(Histogram, RecordsUint64Max) {
+  Histogram h;
+  h.record(~0ull);
+  h.record(1);
+  EXPECT_EQ(h.percentile(100), ~0ull);
+  EXPECT_EQ(h.percentile(0), 1u);
+}
+
+TEST(Histogram, MergeEqualsConcatenatedStream) {
+  // merge(a, b) must answer every query exactly as if one histogram had
+  // recorded both streams. Deterministic LCG, values spanning many octaves.
+  Histogram a, b, both;
+  std::uint64_t x = 88172645463325252ull;
+  auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t v = next() >> (next() % 60);  // wide dynamic range
+    if (i % 3 == 0) {
+      a.record(v);
+    } else {
+      b.record(v);
+    }
+    both.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.sum(), both.sum());
+  EXPECT_EQ(a.min_value(), both.min_value());
+  EXPECT_EQ(a.max_value(), both.max_value());
+  for (const double p : {0.0, 1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9,
+                         100.0})
+    EXPECT_EQ(a.percentile(p), both.percentile(p)) << "p" << p;
+}
+
+TEST(Histogram, MergeIntoEmptyAndFromEmpty) {
+  Histogram empty, h;
+  h.record(5);
+  h.record(500);
+  Histogram target;
+  target.merge(h);      // into empty
+  target.merge(empty);  // from empty: no-op
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_EQ(target.min_value(), 5u);
+  EXPECT_EQ(target.max_value(), 500u);
+  EXPECT_EQ(target.percentile(100), 500u);
+}
+
+}  // namespace
+}  // namespace atacsim::obs

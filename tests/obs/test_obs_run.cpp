@@ -1,0 +1,151 @@
+// End-to-end telemetry tests: a real (small) scenario run with obs armed
+// must emit schema-valid artifacts whose epoch deltas tile the run, produce
+// identical bytes when repeated, and leave no trace at all when disarmed.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/cache.hpp"
+#include "harness/runner.hpp"
+#include "obs/json.hpp"
+#include "obs/options.hpp"
+#include "obs/validate.hpp"
+
+namespace atacsim::harness {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Arms telemetry into `dir` for the test's scope, then disarms (other
+/// tests in this binary must observe the default off state).
+struct ObsArmed {
+  explicit ObsArmed(const std::string& dir) {
+    obs::Options o;
+    o.enabled = true;
+    o.dir = dir;
+    o.epoch_cycles = 5000;
+    obs::set_options(o);
+  }
+  ~ObsArmed() {
+    obs::Options off;
+    off.enabled = false;
+    obs::set_options(off);
+  }
+};
+
+Scenario small_scenario() {
+  Scenario s;
+  s.app = "radix";
+  s.mp = MachineParams::small(8, 2);
+  s.scale = 0.05;
+  return s;
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+TEST(ObsRun, ArmedRunEmitsValidArtifactsAndSummaryStats) {
+  const auto dir = fs::temp_directory_path() / "atacsim_obs_run";
+  fs::remove_all(dir);
+  ObsArmed armed(dir.string());
+
+  const auto s = small_scenario();
+  const auto o = run_scenario(s);
+  ASSERT_TRUE(o.finished);
+
+  // Summary percentiles landed in the outcome (fixed stat set, 8 histograms
+  // x 5 stats) and the network actually recorded latencies.
+  EXPECT_EQ(o.obs_stats.items().size(), 40u);
+  double uni_count = 0, load_count = 0;
+  for (const auto& [k, v] : o.obs_stats.items()) {
+    if (k == "obs_net_lat_uni_coh_count") uni_count = v;
+    if (k == "obs_mem_lat_load_count") load_count = v;
+  }
+  EXPECT_GT(uni_count, 0.0);
+  EXPECT_GT(load_count, 0.0);
+
+  // Artifacts exist under the obs dir, named by scenario key, and pass the
+  // same validators CI runs via atacsim-obs-check.
+  const std::string stem = scenario_key(s);
+  for (const char* suffix : {".series.json", ".series.csv", ".trace.json"}) {
+    const fs::path p = dir / (stem + suffix);
+    ASSERT_TRUE(fs::exists(p)) << p;
+    if (p.extension() == ".json") {
+      EXPECT_EQ(obs::validate_file(p.string()), "") << p;
+    }
+  }
+
+  // The epoch series tiles the run: per-epoch deltas sum to the outcome's
+  // end-of-run counters (here checked through the serialized artifact, the
+  // kObs probe checks the in-memory observer under ATACSIM_VALIDATE=1).
+  obs::json::Value doc;
+  std::string err;
+  ASSERT_TRUE(obs::json::parse(slurp(dir / (stem + ".series.json")), doc, &err))
+      << err;
+  const auto* data = doc.find("data");
+  ASSERT_NE(data, nullptr);
+  auto column_sum = [&](const std::string& name) {
+    const auto* col = data->find(name);
+    EXPECT_NE(col, nullptr) << name;
+    double sum = 0;
+    if (col)
+      for (const auto& v : col->arr) sum += v.number;
+    return sum;
+  };
+  EXPECT_DOUBLE_EQ(column_sum("unicast_packets"),
+                   static_cast<double>(o.run.net.unicast_packets));
+  EXPECT_DOUBLE_EQ(column_sum("l1d_reads"),
+                   static_cast<double>(o.run.mem.l1d_reads));
+  EXPECT_DOUBLE_EQ(column_sum("instructions"),
+                   static_cast<double>(o.run.core.instructions));
+  fs::remove_all(dir);
+}
+
+TEST(ObsRun, ArtifactsAreByteIdenticalAcrossRepeatedRuns) {
+  // Series and trace are functions of the simulation alone; two runs of the
+  // same scenario must serialize to identical bytes (the cross-jobs
+  // determinism guarantee, exercised in-process).
+  const auto dir_a = fs::temp_directory_path() / "atacsim_obs_det_a";
+  const auto dir_b = fs::temp_directory_path() / "atacsim_obs_det_b";
+  fs::remove_all(dir_a);
+  fs::remove_all(dir_b);
+  const auto s = small_scenario();
+  {
+    ObsArmed armed(dir_a.string());
+    ASSERT_TRUE(run_scenario(s).finished);
+  }
+  {
+    ObsArmed armed(dir_b.string());
+    ASSERT_TRUE(run_scenario(s).finished);
+  }
+  const std::string stem = scenario_key(s);
+  for (const char* suffix : {".series.json", ".series.csv", ".trace.json"}) {
+    const std::string a = slurp(dir_a / (stem + suffix));
+    const std::string b = slurp(dir_b / (stem + suffix));
+    ASSERT_FALSE(a.empty()) << suffix;
+    EXPECT_EQ(a, b) << suffix;
+  }
+  fs::remove_all(dir_a);
+  fs::remove_all(dir_b);
+}
+
+TEST(ObsRun, DisarmedRunLeavesNoTelemetry) {
+  obs::Options off;
+  off.enabled = false;
+  obs::set_options(off);
+  const auto o = run_scenario(small_scenario());
+  ASSERT_TRUE(o.finished);
+  // No summary stats -> exp reports keep their pre-telemetry column set
+  // and stay byte-identical with obs off.
+  EXPECT_TRUE(o.obs_stats.items().empty());
+}
+
+}  // namespace
+}  // namespace atacsim::harness

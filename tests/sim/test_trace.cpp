@@ -42,6 +42,31 @@ TEST(Trace, RecorderCapturesEveryAccessWithGaps) {
   EXPECT_FALSE(trace.per_core[0][0].write);
 }
 
+TEST(Trace, RecorderSaturatesOutOfOrderIssueTimestamps) {
+  // Lax synchronization can roll a core's local clock backwards between
+  // accesses. The recorded gap must saturate at zero, not wrap to ~2^64
+  // (which the 32-bit clamp would then turn into a bogus 4.3e9-cycle
+  // compute stall in every replay).
+  TraceRecorder rec(2);
+  rec.record(0, 0x100, false, 100);  // first access: gap from t=0
+  rec.record(0, 0x140, false, 40);   // clock rolled back: 40 < 100
+  rec.record(0, 0x180, true, 70);    // still before the first issue
+  const auto trace = rec.take();
+  ASSERT_EQ(trace.per_core[0].size(), 3u);
+  EXPECT_EQ(trace.per_core[0][0].gap, 100u);
+  EXPECT_EQ(trace.per_core[0][1].gap, 0u);   // saturated, not 2^64 - 60
+  EXPECT_EQ(trace.per_core[0][2].gap, 30u);  // gaps resume from last issue
+}
+
+TEST(Trace, RecorderClampsGapsToFieldWidth) {
+  TraceRecorder rec(1);
+  rec.record(0, 0x100, false, 5);
+  rec.record(0, 0x140, false, 5 + (1ull << 40));  // gap 2^40 > field max
+  const auto trace = rec.take();
+  ASSERT_EQ(trace.per_core[0].size(), 2u);
+  EXPECT_EQ(trace.per_core[0][1].gap, 0xFFFFFFFFu);
+}
+
 TEST(Trace, ReplayTouchesTheSameLines) {
   auto data = std::make_unique<std::vector<std::uint64_t>>(512, 0);
   auto* v = data.get();
